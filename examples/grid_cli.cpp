@@ -1,0 +1,127 @@
+// grid_cli: run one fully configurable grid simulation from the command
+// line and print the complete accounting — the "kick the tires" driver for
+// the whole library.
+//
+//   ./examples/grid_cli --peers=2000 --rate=80 --minutes=60
+//       --algorithm=qsa --overlay=can --churn=20 --recovery --retries=1
+//       --probe-budget=100 --seed=7 --csv
+#include <cstdio>
+#include <iostream>
+
+#include "qsa/harness/grid.hpp"
+#include "qsa/metrics/table.hpp"
+#include "qsa/util/flags.hpp"
+
+using namespace qsa;
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "grid_cli — run one QSA grid simulation\n\n"
+      "  --peers=N          population (default 1000)\n"
+      "  --rate=R           requests/min (default 100)\n"
+      "  --minutes=M        simulated horizon (default 60)\n"
+      "  --algorithm=A      qsa | random | fixed (default qsa)\n"
+      "  --overlay=O        chord | can | pastry (default chord)\n"
+      "  --churn=C          churn events/min (default 0)\n"
+      "  --recovery         enable mid-session departure recovery\n"
+      "  --retries=K        admission retries (default 0)\n"
+      "  --probe-budget=M   neighbors probed per peer (default 100)\n"
+      "  --bw-weight=W      bandwidth importance weight (default uniform)\n"
+      "  --seed=S           root seed (default 42)\n"
+      "  --csv              also emit the psi time series as CSV\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  if (flags.help()) {
+    print_usage();
+    return 0;
+  }
+
+  harness::GridConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  cfg.peers = static_cast<std::size_t>(flags.get_int("peers", 1000));
+  cfg.requests.rate_per_min = flags.get_double("rate", 100);
+  cfg.horizon = sim::SimTime::minutes(flags.get_double("minutes", 60));
+  cfg.churn.events_per_min = flags.get_double("churn", 0);
+  cfg.enable_recovery = flags.get_bool("recovery", false);
+  cfg.admission_retries = static_cast<int>(flags.get_int("retries", 0));
+  cfg.probe_budget =
+      static_cast<std::size_t>(flags.get_int("probe-budget", 100));
+  cfg.bandwidth_weight = flags.get_double("bw-weight", -1);
+
+  const std::string algo = flags.get("algorithm", "qsa");
+  if (algo == "qsa") {
+    cfg.algorithm = harness::AlgorithmKind::kQsa;
+  } else if (algo == "random") {
+    cfg.algorithm = harness::AlgorithmKind::kRandom;
+  } else if (algo == "fixed") {
+    cfg.algorithm = harness::AlgorithmKind::kFixed;
+  } else {
+    std::printf("unknown --algorithm '%s'\n", algo.c_str());
+    return 1;
+  }
+  const std::string overlay = flags.get("overlay", "chord");
+  if (overlay == "chord") {
+    cfg.overlay = harness::OverlayKind::kChord;
+  } else if (overlay == "can") {
+    cfg.overlay = harness::OverlayKind::kCan;
+  } else if (overlay == "pastry") {
+    cfg.overlay = harness::OverlayKind::kPastry;
+  } else {
+    std::printf("unknown --overlay '%s'\n", overlay.c_str());
+    return 1;
+  }
+
+  std::printf("qsa grid: %zu peers, %s algorithm on %s overlay, "
+              "%.4g req/min, %.4g churn/min, %.4g min horizon\n\n",
+              cfg.peers, algo.c_str(), overlay.c_str(),
+              cfg.requests.rate_per_min, cfg.churn.events_per_min,
+              cfg.horizon.as_minutes());
+
+  harness::GridSimulation grid(cfg);
+  const auto r = grid.run();
+
+  std::printf("requests                 %llu\n",
+              static_cast<unsigned long long>(r.requests));
+  std::printf("success ratio (psi)      %.2f%%\n", 100 * r.success_ratio());
+  std::printf("failures: discovery      %llu\n",
+              static_cast<unsigned long long>(r.failures_discovery));
+  std::printf("          composition    %llu\n",
+              static_cast<unsigned long long>(r.failures_composition));
+  std::printf("          selection      %llu\n",
+              static_cast<unsigned long long>(r.failures_selection));
+  std::printf("          admission      %llu\n",
+              static_cast<unsigned long long>(r.failures_admission));
+  std::printf("          departure      %llu\n",
+              static_cast<unsigned long long>(r.failures_departure));
+  std::printf("lookup hops / request    %.2f\n",
+              r.requests ? static_cast<double>(r.lookup_hops) /
+                               static_cast<double>(r.requests)
+                         : 0.0);
+  std::printf("avg composition cost     %.4f\n", r.avg_composition_cost);
+  std::printf("notification messages    %llu\n",
+              static_cast<unsigned long long>(r.notification_messages));
+  std::printf("churn: departures        %llu, arrivals %llu\n",
+              static_cast<unsigned long long>(r.churn_departures),
+              static_cast<unsigned long long>(r.churn_arrivals));
+  for (const auto& [name, value] : r.counters.all()) {
+    std::printf("%-24s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+
+  if (flags.get_bool("csv", false)) {
+    metrics::Table series({"minute", "psi"});
+    for (const auto& s : r.series.samples()) {
+      series.add_row({metrics::Table::num(s.time.as_minutes(), 0),
+                      metrics::Table::num(s.value, 3)});
+    }
+    std::printf("\n");
+    series.print_csv(std::cout);
+  }
+  return 0;
+}

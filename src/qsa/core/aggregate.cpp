@@ -1,0 +1,142 @@
+#include "qsa/core/aggregate.hpp"
+
+#include <algorithm>
+
+#include "qsa/core/baselines.hpp"
+#include "qsa/util/expects.hpp"
+
+namespace qsa::core {
+
+std::string_view to_string(FailureCause cause) {
+  switch (cause) {
+    case FailureCause::kNone:
+      return "none";
+    case FailureCause::kDiscovery:
+      return "discovery";
+    case FailureCause::kComposition:
+      return "composition";
+    case FailureCause::kSelection:
+      return "selection";
+    case FailureCause::kAdmission:
+      return "admission";
+    case FailureCause::kDeparture:
+      return "departure";
+  }
+  return "?";
+}
+
+bool discover_candidates(const GridServices& services,
+                         const ServiceRequest& request, sim::SimTime now,
+                         std::vector<std::vector<registry::InstanceId>>& out,
+                         AggregationPlan& plan) {
+  (void)now;
+  out.clear();
+  out.reserve(request.abstract_path.size());
+  for (registry::ServiceId service : request.abstract_path) {
+    registry::Discovery d =
+        services.directory->discover(service, request.requester, services.net);
+    plan.lookup_hops += d.hops;
+    plan.setup_latency += d.latency;
+    if (d.instances.empty()) {
+      plan.failure = FailureCause::kDiscovery;
+      return false;
+    }
+    out.push_back(std::move(d.instances));
+  }
+  return true;
+}
+
+QsaAlgorithm::QsaAlgorithm(GridServices services, qos::TupleWeights weights,
+                           qos::ResourceSchema schema, std::uint64_t seed,
+                           QsaOptions options)
+    : services_(services),
+      composer_(*services.catalog, weights, schema),
+      selector_(weights, schema, options.selector),
+      options_(options),
+      rng_(util::derive_seed(seed, "qsa-algorithm", 0)) {
+  QSA_EXPECTS(services.catalog && services.placement && services.directory &&
+              services.peers && services.net && services.neighbors);
+}
+
+AggregationPlan QsaAlgorithm::aggregate(const ServiceRequest& request,
+                                        sim::SimTime now) {
+  QSA_EXPECTS(!request.abstract_path.empty());
+  AggregationPlan plan;
+
+  // Tier 1a: discover candidate instances through the P2P lookup service.
+  std::vector<std::vector<registry::InstanceId>> candidates;
+  if (!discover_candidates(services_, request, now, candidates, plan)) {
+    return plan;
+  }
+
+  // Tier 1b: compose the QoS-consistent shortest service path.
+  CompositionRequest creq{std::move(candidates), request.requirement};
+  CompositionResult comp;
+  if (options_.qcs_composition) {
+    comp = composer_.compose(creq);
+  } else {
+    // Ablation: a random QoS-consistent path (the baseline composer), built
+    // with this algorithm's own RNG stream.
+    comp = compose_random(composer_, creq, rng_);
+  }
+  if (!comp.success) {
+    plan.failure = FailureCause::kComposition;
+    return plan;
+  }
+  plan.instances = comp.instances;
+  plan.composition_cost = comp.cost;
+
+  // Tier 2: dynamic peer selection, hop by hop in the reverse direction of
+  // the aggregation flow (hop 1 = the sink-layer instance, selected by the
+  // requester's host).
+  const std::size_t layers = plan.instances.size();
+  std::vector<std::vector<net::PeerId>> hop_candidates(layers);
+  for (std::size_t hop = 1; hop <= layers; ++hop) {
+    const registry::InstanceId inst = plan.instances[layers - hop];
+    auto providers = services_.placement->providers(inst);
+    auto& cands = hop_candidates[hop - 1];
+    for (net::PeerId p : providers) {
+      if (std::find(request.excluded_hosts.begin(),
+                    request.excluded_hosts.end(),
+                    p) == request.excluded_hosts.end()) {
+        cands.push_back(p);
+      }
+    }
+    if (cands.empty()) {
+      plan.failure = FailureCause::kSelection;
+      return plan;
+    }
+  }
+  services_.neighbors->register_path(request.requester, hop_candidates, now);
+
+  plan.hosts.assign(layers, net::kNoPeer);
+  net::PeerId current = request.requester;
+  for (std::size_t hop = 1; hop <= layers; ++hop) {
+    const auto& inst =
+        services_.catalog->instance(plan.instances[layers - hop]);
+    const auto& cands = hop_candidates[hop - 1];
+    const bool direct = current == request.requester;
+    services_.neighbors->prepare_selection(
+        current, cands, static_cast<std::uint8_t>(hop), direct, now);
+
+    HopSelection chosen;
+    if (options_.smart_selection) {
+      chosen = selector_.select_hop(
+          *services_.peers, *services_.net, services_.neighbors->table(current),
+          current, inst, cands, request.session_duration, now, rng_);
+    } else {
+      // Ablation: random peer per hop, ignoring all performance information.
+      chosen = HopSelection{cands[rng_.index(cands.size())], true};
+    }
+    if (!chosen.ok()) {
+      plan.failure = FailureCause::kSelection;
+      return plan;
+    }
+    if (chosen.random_fallback) ++plan.random_fallback_hops;
+    plan.hosts[layers - hop] = chosen.peer;
+    current = chosen.peer;
+  }
+  return plan;
+}
+
+}  // namespace qsa::core

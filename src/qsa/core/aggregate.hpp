@@ -1,0 +1,122 @@
+// The two-tier QoS-aware service aggregation model (QSA): on-demand service
+// composition followed by dynamic peer selection, orchestrated per request
+// at session setup time (Section 3). Baselines implement the same
+// AggregationAlgorithm interface.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "qsa/core/compose.hpp"
+#include "qsa/core/select.hpp"
+#include "qsa/net/network.hpp"
+#include "qsa/net/peer.hpp"
+#include "qsa/probe/resolution.hpp"
+#include "qsa/registry/directory.hpp"
+#include "qsa/registry/placement.hpp"
+#include "qsa/util/rng.hpp"
+
+namespace qsa::core {
+
+/// Why a request failed (setup-time causes here; the session manager adds
+/// admission/departure).
+enum class FailureCause : std::uint8_t {
+  kNone,         ///< success
+  kDiscovery,    ///< a service had no discoverable candidate instances
+  kComposition,  ///< no QoS-consistent service path exists
+  kSelection,    ///< a hop found no acceptable peer
+  kAdmission,    ///< reservation failed on the chosen peers/links
+  kDeparture,    ///< a provisioning peer left mid-session
+};
+
+[[nodiscard]] std::string_view to_string(FailureCause cause);
+
+/// A user request: the abstract service path (source .. sink) plus the
+/// end-to-end QoS requirement and intended session duration.
+struct ServiceRequest {
+  net::PeerId requester = net::kNoPeer;
+  std::vector<registry::ServiceId> abstract_path;
+  qos::QosVector requirement;
+  sim::SimTime session_duration;
+  /// Hosts the caller has ruled out (admission-retry support: peers whose
+  /// reservation just failed on stale probe data). QSA's selection honors
+  /// this; the cost-blind baselines ignore it, as they ignore all state.
+  std::vector<net::PeerId> excluded_hosts;
+};
+
+/// The aggregation decision: which instance runs where, hop by hop.
+struct AggregationPlan {
+  FailureCause failure = FailureCause::kNone;
+  /// Chosen instances, source first, sink last (empty on failure).
+  std::vector<registry::InstanceId> instances;
+  /// Hosting peers, aligned with `instances`.
+  std::vector<net::PeerId> hosts;
+  double composition_cost = 0;
+  int lookup_hops = 0;          ///< total Chord hops spent on discovery
+  sim::SimTime setup_latency;   ///< summed discovery latency
+  int random_fallback_hops = 0; ///< hops selected without performance info
+
+  [[nodiscard]] bool ok() const noexcept {
+    return failure == FailureCause::kNone;
+  }
+};
+
+class AggregationAlgorithm {
+ public:
+  virtual ~AggregationAlgorithm() = default;
+  [[nodiscard]] virtual AggregationPlan aggregate(const ServiceRequest& request,
+                                                  sim::SimTime now) = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Everything an aggregation algorithm needs to consult. Non-owning; the
+/// grid harness wires one up per simulation.
+struct GridServices {
+  const registry::ServiceCatalog* catalog = nullptr;
+  const registry::PlacementMap* placement = nullptr;
+  const registry::ServiceDirectory* directory = nullptr;
+  const net::PeerTable* peers = nullptr;
+  const net::NetworkModel* net = nullptr;
+  probe::NeighborResolution* neighbors = nullptr;
+};
+
+/// Ablation switches for the QSA algorithm (full QSA by default).
+struct QsaOptions {
+  bool qcs_composition = true;    ///< false: random consistent path
+  bool smart_selection = true;    ///< false: random peer per hop
+  SelectorOptions selector = {};  ///< uptime filter / Phi ranking switches
+};
+
+/// The paper's QSA algorithm: QCS composition + dynamic peer selection.
+class QsaAlgorithm final : public AggregationAlgorithm {
+ public:
+  QsaAlgorithm(GridServices services, qos::TupleWeights weights,
+               qos::ResourceSchema schema, std::uint64_t seed,
+               QsaOptions options = {});
+
+  [[nodiscard]] AggregationPlan aggregate(const ServiceRequest& request,
+                                          sim::SimTime now) override;
+  [[nodiscard]] std::string_view name() const override { return "qsa"; }
+
+  [[nodiscard]] const QcsComposer& composer() const noexcept {
+    return composer_;
+  }
+
+ private:
+  GridServices services_;
+  QcsComposer composer_;
+  PeerSelector selector_;
+  QsaOptions options_;
+  util::Rng rng_;
+};
+
+/// Discovers candidate instances for every service on the abstract path.
+/// Shared by QSA and the baselines. Returns false (and sets the plan's
+/// failure) when any service has no candidates.
+bool discover_candidates(const GridServices& services,
+                         const ServiceRequest& request, sim::SimTime now,
+                         std::vector<std::vector<registry::InstanceId>>& out,
+                         AggregationPlan& plan);
+
+}  // namespace qsa::core

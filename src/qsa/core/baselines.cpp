@@ -1,0 +1,166 @@
+#include "qsa/core/baselines.hpp"
+
+#include <algorithm>
+
+#include "qsa/qos/satisfy.hpp"
+#include "qsa/util/expects.hpp"
+
+namespace qsa::core {
+namespace {
+
+/// Backtracking DFS over the layered candidate graph, trying candidates in
+/// the order produced by `order` (which may shuffle). Fills `chosen`
+/// sink -> source; returns true on a full consistent path.
+bool dfs_path(const registry::ServiceCatalog& catalog,
+              const CompositionRequest& req,
+              std::vector<std::vector<registry::InstanceId>>& order,
+              std::size_t layer_from_sink,
+              const qos::QosVector* downstream_qin,
+              std::vector<registry::InstanceId>& chosen) {
+  const std::size_t layers = req.candidates.size();
+  const std::size_t layer = layers - 1 - layer_from_sink;  // source index
+  for (registry::InstanceId id : order[layer]) {
+    const auto& inst = catalog.instance(id);
+    const bool consistent =
+        layer_from_sink == 0
+            ? qos::satisfies(inst.qout, req.requirement)
+            : qos::satisfies(inst.qout, *downstream_qin);
+    if (!consistent) continue;
+    chosen[layer] = id;
+    if (layer == 0) return true;  // reached the source layer
+    if (dfs_path(catalog, req, order, layer_from_sink + 1, &inst.qin, chosen)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+CompositionResult compose_dfs(const QcsComposer& composer,
+                              const CompositionRequest& req, util::Rng* rng) {
+  CompositionResult result;
+  const std::size_t layers = req.candidates.size();
+  if (layers == 0) return result;
+  for (const auto& layer : req.candidates) {
+    if (layer.empty()) return result;
+    result.nodes += layer.size();
+  }
+
+  std::vector<std::vector<registry::InstanceId>> order = req.candidates;
+  if (rng != nullptr) {
+    for (auto& layer : order) rng->shuffle(std::span<registry::InstanceId>(layer));
+  }
+
+  std::vector<registry::InstanceId> chosen(layers, registry::kNoInstance);
+  // `composer` is only consulted for cost bookkeeping; the catalog it wraps
+  // drives the consistency checks.
+  if (!dfs_path(composer.catalog(), req, order, 0, nullptr, chosen)) {
+    return result;
+  }
+  result.success = true;
+  result.instances = std::move(chosen);
+  for (registry::InstanceId id : result.instances) {
+    result.cost += composer.instance_cost(id);
+  }
+  return result;
+}
+
+}  // namespace
+
+CompositionResult compose_random(const QcsComposer& composer,
+                                 const CompositionRequest& req,
+                                 util::Rng& rng) {
+  return compose_dfs(composer, req, &rng);
+}
+
+CompositionResult compose_first(const QcsComposer& composer,
+                                const CompositionRequest& req) {
+  return compose_dfs(composer, req, nullptr);
+}
+
+RandomAlgorithm::RandomAlgorithm(GridServices services,
+                                 qos::TupleWeights weights,
+                                 qos::ResourceSchema schema,
+                                 std::uint64_t seed)
+    : services_(services),
+      composer_(*services.catalog, weights, schema),
+      rng_(util::derive_seed(seed, "random-algorithm", 0)) {
+  QSA_EXPECTS(services.catalog && services.placement && services.directory &&
+              services.net);
+}
+
+AggregationPlan RandomAlgorithm::aggregate(const ServiceRequest& request,
+                                           sim::SimTime now) {
+  QSA_EXPECTS(!request.abstract_path.empty());
+  AggregationPlan plan;
+  std::vector<std::vector<registry::InstanceId>> candidates;
+  if (!discover_candidates(services_, request, now, candidates, plan)) {
+    return plan;
+  }
+  CompositionResult comp = compose_random(
+      composer_, CompositionRequest{std::move(candidates), request.requirement},
+      rng_);
+  if (!comp.success) {
+    plan.failure = FailureCause::kComposition;
+    return plan;
+  }
+  plan.instances = comp.instances;
+  plan.composition_cost = comp.cost;
+
+  plan.hosts.reserve(plan.instances.size());
+  for (registry::InstanceId id : plan.instances) {
+    auto providers = services_.placement->providers(id);
+    if (providers.empty()) {
+      plan.failure = FailureCause::kSelection;
+      plan.hosts.clear();
+      return plan;
+    }
+    plan.hosts.push_back(providers[rng_.index(providers.size())]);
+    ++plan.random_fallback_hops;
+  }
+  return plan;
+}
+
+FixedAlgorithm::FixedAlgorithm(GridServices services, qos::TupleWeights weights,
+                               qos::ResourceSchema schema)
+    : services_(services), composer_(*services.catalog, weights, schema) {
+  QSA_EXPECTS(services.catalog && services.placement && services.directory &&
+              services.net);
+}
+
+AggregationPlan FixedAlgorithm::aggregate(const ServiceRequest& request,
+                                          sim::SimTime now) {
+  QSA_EXPECTS(!request.abstract_path.empty());
+  AggregationPlan plan;
+  std::vector<std::vector<registry::InstanceId>> candidates;
+  if (!discover_candidates(services_, request, now, candidates, plan)) {
+    return plan;
+  }
+  // Determinism: the directory returns candidates in sorted id order, so the
+  // first consistent DFS path is the same for every identical request — the
+  // "always picks the same service path" behaviour.
+  CompositionResult comp = compose_first(
+      composer_,
+      CompositionRequest{std::move(candidates), request.requirement});
+  if (!comp.success) {
+    plan.failure = FailureCause::kComposition;
+    return plan;
+  }
+  plan.instances = comp.instances;
+  plan.composition_cost = comp.cost;
+
+  // Dedicated servers: the lowest-id provider of each instance, exactly as a
+  // client-server deployment pins services to fixed hosts.
+  plan.hosts.reserve(plan.instances.size());
+  for (registry::InstanceId id : plan.instances) {
+    auto providers = services_.placement->providers(id);
+    if (providers.empty()) {
+      plan.failure = FailureCause::kSelection;
+      plan.hosts.clear();
+      return plan;
+    }
+    plan.hosts.push_back(*std::min_element(providers.begin(), providers.end()));
+  }
+  return plan;
+}
+
+}  // namespace qsa::core

@@ -1,0 +1,58 @@
+// The paper's two comparison heuristics (Section 4.1):
+//
+//  * random — picks a random QoS-consistent service path (ignoring
+//    aggregated resource cost) and a uniformly random provider peer per hop
+//    (ignoring all performance information);
+//  * fixed — always picks the same (deterministic first) consistent service
+//    path and "dedicated" peers: the lowest-id provider of each instance.
+//    This models the conventional client-server deployment the paper
+//    contrasts against.
+#pragma once
+
+#include "qsa/core/aggregate.hpp"
+
+namespace qsa::core {
+
+/// A uniformly random QoS-consistent path through the candidate layers
+/// (randomized backtracking DFS: succeeds whenever any consistent path
+/// exists). Cost is reported with the same scalarization QCS uses so the
+/// two are comparable.
+[[nodiscard]] CompositionResult compose_random(const QcsComposer& composer,
+                                               const CompositionRequest& req,
+                                               util::Rng& rng);
+
+/// The deterministic first consistent path (candidates tried in the order
+/// given), used by the fixed baseline.
+[[nodiscard]] CompositionResult compose_first(const QcsComposer& composer,
+                                              const CompositionRequest& req);
+
+class RandomAlgorithm final : public AggregationAlgorithm {
+ public:
+  RandomAlgorithm(GridServices services, qos::TupleWeights weights,
+                  qos::ResourceSchema schema, std::uint64_t seed);
+
+  [[nodiscard]] AggregationPlan aggregate(const ServiceRequest& request,
+                                          sim::SimTime now) override;
+  [[nodiscard]] std::string_view name() const override { return "random"; }
+
+ private:
+  GridServices services_;
+  QcsComposer composer_;  // reused only for cost bookkeeping + satisfy checks
+  util::Rng rng_;
+};
+
+class FixedAlgorithm final : public AggregationAlgorithm {
+ public:
+  FixedAlgorithm(GridServices services, qos::TupleWeights weights,
+                 qos::ResourceSchema schema);
+
+  [[nodiscard]] AggregationPlan aggregate(const ServiceRequest& request,
+                                          sim::SimTime now) override;
+  [[nodiscard]] std::string_view name() const override { return "fixed"; }
+
+ private:
+  GridServices services_;
+  QcsComposer composer_;
+};
+
+}  // namespace qsa::core

@@ -1,0 +1,99 @@
+#include "qsa/core/compose.hpp"
+
+#include <limits>
+
+#include "qsa/qos/satisfy.hpp"
+#include "qsa/util/expects.hpp"
+
+namespace qsa::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+QcsComposer::QcsComposer(const registry::ServiceCatalog& catalog,
+                         qos::TupleWeights weights, qos::ResourceSchema schema)
+    : catalog_(catalog), weights_(weights), schema_(schema) {}
+
+double QcsComposer::instance_cost(registry::InstanceId instance) const {
+  const auto& inst = catalog_.instance(instance);
+  return qos::scalarize(qos::ResourceTuple{inst.resources, inst.bandwidth_kbps},
+                        weights_, schema_);
+}
+
+CompositionResult QcsComposer::compose(const CompositionRequest& req) const {
+  CompositionResult result;
+  const std::size_t layers = req.candidates.size();
+  if (layers == 0) return result;
+  for (const auto& layer : req.candidates) {
+    if (layer.empty()) return result;  // a service with no candidates
+    result.nodes += layer.size();
+  }
+
+  // dist[l][j]: minimum aggregated cost of a consistent partial path from
+  // the user anchor through layer `l` ending at candidate j. Layers are
+  // traversed sink -> source (the reverse of the aggregation flow, as the
+  // paper's graph is built). This layered relaxation performs exactly the
+  // edge examinations the O(V^2) Dijkstra would: each (consumer, producer)
+  // pair is examined once; edge costs are nonnegative, and the layered DAG
+  // admits no shortcut Dijkstra could exploit.
+  std::vector<std::vector<double>> dist(layers);
+  std::vector<std::vector<std::uint32_t>> parent(layers);
+
+  const std::size_t sink = layers - 1;
+  dist[sink].assign(req.candidates[sink].size(), kInf);
+  parent[sink].assign(req.candidates[sink].size(), 0);
+  for (std::size_t j = 0; j < req.candidates[sink].size(); ++j) {
+    const auto& inst = catalog_.instance(req.candidates[sink][j]);
+    ++result.edges_examined;
+    if (qos::satisfies(inst.qout, req.requirement)) {
+      dist[sink][j] = instance_cost(inst.id);
+    }
+  }
+
+  for (std::size_t l = sink; l-- > 0;) {
+    dist[l].assign(req.candidates[l].size(), kInf);
+    parent[l].assign(req.candidates[l].size(), 0);
+    const std::size_t consumer_layer = l + 1;
+    for (std::size_t j = 0; j < req.candidates[l].size(); ++j) {
+      const auto& producer = catalog_.instance(req.candidates[l][j]);
+      const double own = instance_cost(producer.id);
+      for (std::size_t c = 0; c < req.candidates[consumer_layer].size(); ++c) {
+        if (dist[consumer_layer][c] == kInf) continue;
+        const auto& consumer =
+            catalog_.instance(req.candidates[consumer_layer][c]);
+        ++result.edges_examined;
+        if (!qos::satisfies(producer.qout, consumer.qin)) continue;
+        const double through = dist[consumer_layer][c] + own;
+        if (through < dist[l][j]) {
+          dist[l][j] = through;
+          parent[l][j] = static_cast<std::uint32_t>(c);
+        }
+      }
+    }
+  }
+
+  // Best entry point in the source layer.
+  std::size_t best = 0;
+  double best_cost = kInf;
+  for (std::size_t j = 0; j < dist[0].size(); ++j) {
+    if (dist[0][j] < best_cost) {
+      best_cost = dist[0][j];
+      best = j;
+    }
+  }
+  if (best_cost == kInf) return result;  // no consistent path
+
+  result.success = true;
+  result.cost = best_cost;
+  result.instances.resize(layers);
+  std::size_t at = best;
+  for (std::size_t l = 0; l < layers; ++l) {
+    result.instances[l] = req.candidates[l][at];
+    if (l + 1 < layers) at = parent[l][at];
+  }
+  return result;
+}
+
+}  // namespace qsa::core

@@ -1,0 +1,82 @@
+// On-demand service composition: the QCS (QoS-Consistent & Shortest)
+// algorithm of Section 3.2.
+//
+// Given the abstract service path (source .. sink), the candidate instances
+// discovered for each service, and the user's end-to-end QoS requirement,
+// QCS builds the layered candidate graph from the data sink backwards:
+//
+//   * a virtual node represents the requesting user; a sink-layer instance
+//     is connected to it iff its Qout satisfies the user's requirement
+//     (the paper anchors this by setting the sink node's QoS to the user's
+//     requirement);
+//   * instance B (one layer upstream) is connected to instance A iff
+//     Qout_B satisfies Qin_A (equation 1);
+//   * the edge entering instance B costs the scalarized resource tuple
+//     (R_B, b_B) of Definition 3.1 — B's end-system requirement plus the
+//     bandwidth its output needs;
+//   * Dijkstra (the O(V^2) array form, matching the paper's O(K V^2) bound)
+//     finds the minimum aggregated-cost path from the user anchor to the
+//     source layer.
+//
+// The result is the QoS-consistent service path with minimum aggregated
+// resource requirements, or failure when no consistent path exists.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qsa/qos/tuple_compare.hpp"
+#include "qsa/qos/vector.hpp"
+#include "qsa/registry/catalog.hpp"
+
+namespace qsa::core {
+
+struct CompositionRequest {
+  /// Candidate instances per abstract path position, source first, sink
+  /// last. Every instance in `candidates[i]` implements the same abstract
+  /// service.
+  std::vector<std::vector<registry::InstanceId>> candidates;
+  /// The user's end-to-end QoS requirement (what the sink's output must
+  /// satisfy).
+  qos::QosVector requirement;
+};
+
+struct CompositionResult {
+  bool success = false;
+  /// Chosen instance per position, source first, sink last; empty on
+  /// failure.
+  std::vector<registry::InstanceId> instances;
+  /// Aggregated scalarized resource cost of the chosen path.
+  double cost = 0;
+  /// Work counters (for the complexity benches).
+  std::size_t nodes = 0;
+  std::size_t edges_examined = 0;
+};
+
+class QcsComposer {
+ public:
+  QcsComposer(const registry::ServiceCatalog& catalog,
+              qos::TupleWeights weights, qos::ResourceSchema schema);
+
+  [[nodiscard]] CompositionResult compose(const CompositionRequest& req) const;
+
+  /// The scalarized cost sigma(R, b) QCS charges for including `instance`.
+  [[nodiscard]] double instance_cost(registry::InstanceId instance) const;
+
+  [[nodiscard]] const registry::ServiceCatalog& catalog() const noexcept {
+    return catalog_;
+  }
+  [[nodiscard]] const qos::TupleWeights& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] const qos::ResourceSchema& schema() const noexcept {
+    return schema_;
+  }
+
+ private:
+  const registry::ServiceCatalog& catalog_;
+  qos::TupleWeights weights_;
+  qos::ResourceSchema schema_;
+};
+
+}  // namespace qsa::core

@@ -1,0 +1,88 @@
+#include "qsa/core/select.hpp"
+
+#include <vector>
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::core {
+
+PeerSelector::PeerSelector(qos::TupleWeights weights,
+                           qos::ResourceSchema schema, SelectorOptions options)
+    : weights_(weights), schema_(schema), options_(options) {}
+
+double PeerSelector::phi(const probe::PerfSnapshot& snap,
+                         const registry::ServiceInstance& instance) const {
+  QSA_EXPECTS(snap.available.size() == schema_.kinds());
+  QSA_EXPECTS(instance.resources.size() == schema_.kinds());
+  double value = 0;
+  for (std::size_t i = 0; i < schema_.kinds(); ++i) {
+    QSA_EXPECTS(instance.resources[i] > 0);
+    value += weights_.resource()[i] * snap.available[i] / instance.resources[i];
+  }
+  QSA_EXPECTS(instance.bandwidth_kbps > 0);
+  value +=
+      weights_.bandwidth() * snap.bandwidth_kbps / instance.bandwidth_kbps;
+  return value;
+}
+
+HopSelection PeerSelector::select_hop(
+    const net::PeerTable& peers, const net::NetworkModel& net,
+    const probe::NeighborTable& table, net::PeerId current,
+    const registry::ServiceInstance& instance,
+    std::span<const net::PeerId> candidates, sim::SimTime session_duration,
+    sim::SimTime now, util::Rng& rng) const {
+  struct Known {
+    net::PeerId peer;
+    probe::PerfSnapshot snap;
+  };
+  std::vector<Known> known;
+  std::vector<net::PeerId> unknown;
+  known.reserve(candidates.size());
+
+  for (net::PeerId c : candidates) {
+    if (table.knows(c, now)) {
+      known.push_back(Known{c, probe::probe(peers, net, current, c, now)});
+    } else {
+      unknown.push_back(c);
+    }
+  }
+
+  // Two filter passes: first with the uptime match, then (best effort)
+  // without it.
+  const bool passes[] = {options_.use_uptime_filter, false};
+  for (bool with_uptime : passes) {
+    if (with_uptime && !options_.use_uptime_filter) continue;
+    net::PeerId best = net::kNoPeer;
+    double best_phi = 0;
+    std::size_t qualified = 0;
+    for (const Known& k : known) {
+      if (!k.snap.alive) continue;
+      if (with_uptime && k.snap.uptime < session_duration) continue;
+      if (!instance.resources.fits_within(k.snap.available)) continue;
+      if (k.snap.bandwidth_kbps < instance.bandwidth_kbps) continue;
+      ++qualified;
+      if (options_.use_phi_ranking) {
+        const double value = phi(k.snap, instance);
+        if (best == net::kNoPeer || value > best_phi ||
+            (value == best_phi && k.peer < best)) {
+          best = k.peer;
+          best_phi = value;
+        }
+      } else if (best == net::kNoPeer ||
+                 rng.index(qualified) == 0) {
+        // Reservoir-sample a uniform survivor when Phi ranking is ablated.
+        best = k.peer;
+      }
+    }
+    if (best != net::kNoPeer) return HopSelection{best, false};
+    if (!with_uptime) break;  // both passes failed
+  }
+
+  // Random fallback among candidates we lack information about.
+  if (!unknown.empty()) {
+    return HopSelection{unknown[rng.index(unknown.size())], true};
+  }
+  return HopSelection{};  // hop failed
+}
+
+}  // namespace qsa::core

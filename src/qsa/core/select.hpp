@@ -1,0 +1,74 @@
+// Dynamic peer selection (Section 3.3): one hop of the distributed,
+// hop-by-hop selection. The current peer chooses, among the candidate
+// providers of the next service instance, using only its locally probed
+// neighbor information:
+//
+//   1. candidates it has no information about are set aside;
+//   2. known candidates are filtered: probed-alive, probed uptime >= the
+//      application's session duration (topological-variation tolerance),
+//      probed availability >= R, probed bandwidth >= b;
+//   3. the survivors are ranked by the configurable composite metric
+//      Phi = sum_i omega_i * ra_i / r_i + omega_{m+1} * beta / b  (eq. 4-5)
+//      and the maximizer wins;
+//   4. if nothing survives, the uptime filter is relaxed (best effort);
+//   5. if still nothing, selection falls back to a random pick among the
+//      candidates without information (the paper's random fallback); with
+//      no unknowns left the hop fails.
+#pragma once
+
+#include <span>
+
+#include "qsa/net/network.hpp"
+#include "qsa/net/peer.hpp"
+#include "qsa/probe/resolution.hpp"
+#include "qsa/probe/snapshot.hpp"
+#include "qsa/qos/tuple_compare.hpp"
+#include "qsa/registry/service.hpp"
+#include "qsa/util/rng.hpp"
+
+namespace qsa::core {
+
+struct HopSelection {
+  net::PeerId peer = net::kNoPeer;
+  bool random_fallback = false;  ///< chosen without performance information
+  [[nodiscard]] bool ok() const noexcept { return peer != net::kNoPeer; }
+};
+
+/// Selector options; the defaults are the full QSA behaviour, the switches
+/// drive the ablation benches.
+struct SelectorOptions {
+  bool use_uptime_filter = true;   ///< match uptime against session duration
+  bool use_phi_ranking = true;     ///< false: uniform pick among survivors
+};
+
+class PeerSelector {
+ public:
+  PeerSelector(qos::TupleWeights weights, qos::ResourceSchema schema,
+               SelectorOptions options = {});
+
+  /// The composite metric Phi for a candidate snapshot against an instance's
+  /// requirements. Requires strictly positive requirements.
+  [[nodiscard]] double phi(const probe::PerfSnapshot& snap,
+                           const registry::ServiceInstance& instance) const;
+
+  /// One selection step: `current` picks the host for `instance` among
+  /// `candidates`. `table` is `current`'s neighbor table (already prepared
+  /// by the resolution protocol).
+  [[nodiscard]] HopSelection select_hop(
+      const net::PeerTable& peers, const net::NetworkModel& net,
+      const probe::NeighborTable& table, net::PeerId current,
+      const registry::ServiceInstance& instance,
+      std::span<const net::PeerId> candidates, sim::SimTime session_duration,
+      sim::SimTime now, util::Rng& rng) const;
+
+  [[nodiscard]] const SelectorOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  qos::TupleWeights weights_;
+  qos::ResourceSchema schema_;
+  SelectorOptions options_;
+};
+
+}  // namespace qsa::core

@@ -1,0 +1,50 @@
+#include "qsa/harness/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::harness {
+
+std::string_view to_string(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kQsa:
+      return "qsa";
+    case AlgorithmKind::kRandom:
+      return "random";
+    case AlgorithmKind::kFixed:
+      return "fixed";
+  }
+  return "?";
+}
+
+std::string_view to_string(OverlayKind kind) {
+  switch (kind) {
+    case OverlayKind::kChord:
+      return "chord";
+    case OverlayKind::kCan:
+      return "can";
+    case OverlayKind::kPastry:
+      return "pastry";
+  }
+  return "?";
+}
+
+void GridConfig::scale(double factor) {
+  QSA_EXPECTS(factor > 0);
+  peers = std::max<std::size_t>(
+      200, static_cast<std::size_t>(static_cast<double>(peers) * factor));
+  requests.rate_per_min *= factor;
+  churn.events_per_min *= factor;
+}
+
+double GridConfig::env_scale(double def) {
+  if (const char* env = std::getenv("QSA_SCALE")) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
+}  // namespace qsa::harness

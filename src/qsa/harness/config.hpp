@@ -1,0 +1,91 @@
+// Configuration of one grid simulation, defaulted to the paper's Section 4.1
+// setup (10^4 peers, 10 applications, 10-20 instances/service, 40-80
+// providers/instance, M = 100, ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "qsa/core/aggregate.hpp"
+#include "qsa/sim/time.hpp"
+#include "qsa/workload/apps.hpp"
+#include "qsa/workload/churn.hpp"
+#include "qsa/workload/generator.hpp"
+
+namespace qsa::harness {
+
+enum class AlgorithmKind : std::uint8_t { kQsa, kRandom, kFixed };
+
+[[nodiscard]] std::string_view to_string(AlgorithmKind kind);
+
+/// Which P2P lookup substrate the grid runs on. Section 3.2 names "Chord or
+/// CAN"; Pastry is provided as a third structured option.
+enum class OverlayKind : std::uint8_t { kChord, kCan, kPastry };
+
+[[nodiscard]] std::string_view to_string(OverlayKind kind);
+
+struct GridConfig {
+  std::uint64_t seed = 42;
+
+  // --- population ---
+  std::size_t peers = 10'000;          ///< paper: 10^4
+  double min_capacity = 100;           ///< per-kind units, paper: [100,100]
+  double max_capacity = 1000;          ///< paper: [1000,1000]
+  double max_initial_age_min = 180;    ///< pre-aged uptime at t=0
+
+  // --- placement ---
+  int min_providers = 40;              ///< paper: 40 peers per instance
+  int max_providers = 80;              ///< paper: 80
+  int arrival_hosted_min = 2;          ///< instances a churn arrival hosts
+  int arrival_hosted_max = 5;
+
+  // --- probing & neighbor maintenance ---
+  sim::SimTime probe_period = sim::SimTime::seconds(30);
+  std::size_t probe_budget = 100;      ///< M; paper: 100 (1% of peers)
+  sim::SimTime neighbor_ttl = sim::SimTime::minutes(90);
+
+  // --- overlay ---
+  OverlayKind overlay = OverlayKind::kChord;
+  int chord_replicas = 4;
+  sim::SimTime stabilize_period = sim::SimTime::seconds(30);
+  double stabilize_fraction = 0.1;
+  sim::SimTime republish_period = sim::SimTime::minutes(2);
+
+  // --- applications & workload ---
+  workload::AppCatalogParams apps;     ///< seeds are overridden from `seed`
+  workload::RequestParams requests;
+  workload::ChurnParams churn;
+
+  // --- algorithm under test ---
+  AlgorithmKind algorithm = AlgorithmKind::kQsa;
+  core::QsaOptions qsa_options;
+  /// Mid-session departure recovery (the paper's future-work extension):
+  /// when a provisioning peer leaves, re-select a replacement host and
+  /// migrate the reservations instead of aborting. Off by default — the
+  /// paper's evaluation runs without it.
+  bool enable_recovery = false;
+  /// Admission retries: when a reservation fails (stale probe data made
+  /// selection pick a peer that is actually full), re-run aggregation up to
+  /// this many times excluding the blamed hosts. 0 = the paper's behaviour
+  /// (one shot).
+  int admission_retries = 0;
+  /// Weight on the bandwidth term of Definition 3.1 and the Phi metric
+  /// (w_{m+1} = omega_{m+1}); the remaining mass is split evenly across the
+  /// end-system resource kinds. Negative = uniform over all m+1 terms (the
+  /// paper's experiments distribute importance weights uniformly).
+  double bandwidth_weight = -1;
+
+  // --- run control ---
+  sim::SimTime horizon = sim::SimTime::minutes(400);
+  sim::SimTime sample_period = sim::SimTime::minutes(2);
+
+  /// Scales population-bound knobs (peer count, request rate, churn rate) by
+  /// `factor`, preserving per-peer load and churned population fraction so
+  /// the figures keep their shape at laptop scale.
+  void scale(double factor);
+
+  /// Reads QSA_SCALE (default `def`) and applies it.
+  static double env_scale(double def = 1.0);
+};
+
+}  // namespace qsa::harness

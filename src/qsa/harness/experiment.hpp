@@ -1,0 +1,43 @@
+// Experiment runner: executes a list of independent GridConfigs (sweep
+// points x algorithms x replications) across a thread pool and returns
+// results in input order — bit-identical regardless of thread count, since
+// every simulation is self-seeded and single-threaded.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qsa/harness/config.hpp"
+#include "qsa/harness/grid.hpp"
+
+namespace qsa::harness {
+
+struct ExperimentCell {
+  std::string label;
+  GridConfig config;
+};
+
+struct ExperimentResult {
+  std::string label;
+  GridResult result;
+};
+
+class ExperimentRunner {
+ public:
+  /// `threads` = 0: one per hardware thread.
+  explicit ExperimentRunner(std::size_t threads = 0) : threads_(threads) {}
+
+  [[nodiscard]] std::vector<ExperimentResult> run(
+      std::span<const ExperimentCell> cells) const;
+
+ private:
+  std::size_t threads_;
+};
+
+/// Builds the three algorithm variants of one configuration (the standard
+/// QSA / random / fixed comparison every figure plots).
+[[nodiscard]] std::vector<ExperimentCell> algorithm_comparison(
+    const GridConfig& base, std::string_view label_prefix = "");
+
+}  // namespace qsa::harness

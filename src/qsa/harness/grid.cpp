@@ -1,0 +1,330 @@
+#include "qsa/harness/grid.hpp"
+
+#include <unordered_set>
+#include <utility>
+
+#include "qsa/overlay/can_overlay.hpp"
+#include "qsa/overlay/chord_ring.hpp"
+#include "qsa/overlay/pastry_overlay.hpp"
+#include "qsa/qos/translator.hpp"
+#include "qsa/util/expects.hpp"
+#include "qsa/workload/generator.hpp"
+
+namespace qsa::harness {
+
+GridSimulation::GridSimulation(GridConfig config)
+    : config_(std::move(config)),
+      universe_(registry::QosUniverse::standard(interner_)),
+      grid_rng_(util::derive_seed(config_.seed, "grid", 0)),
+      recovery_rng_(util::derive_seed(config_.seed, "recovery", 0)) {
+  // The QoS->resource translator shared by catalog generation.
+  translator_ = std::make_unique<qos::AnalyticTranslator>(
+      universe_.level, qos::AnalyticTranslator::paper_coefficients());
+
+  // Applications + abstract services + service instances.
+  workload::AppCatalogParams app_params = config_.apps;
+  app_params.seed = util::derive_seed(config_.seed, "apps-root", 0);
+  apps_ = std::make_unique<workload::ApplicationCatalog>(
+      catalog_, universe_, *translator_, app_params);
+
+  const net::ProbeClock clock(config_.probe_period);
+  peers_ = std::make_unique<net::PeerTable>(qos::ResourceSchema::paper(), clock);
+  network_ = std::make_unique<net::NetworkModel>(
+      util::derive_seed(config_.seed, "network", 0), clock);
+  switch (config_.overlay) {
+    case OverlayKind::kChord:
+      ring_ = std::make_unique<overlay::ChordRing>(
+          util::derive_seed(config_.seed, "chord", 0), config_.chord_replicas);
+      break;
+    case OverlayKind::kCan:
+      ring_ = std::make_unique<overlay::CanOverlay>(
+          util::derive_seed(config_.seed, "can", 0), config_.chord_replicas);
+      break;
+    case OverlayKind::kPastry:
+      ring_ = std::make_unique<overlay::PastryOverlay>(
+          util::derive_seed(config_.seed, "pastry", 0),
+          config_.chord_replicas);
+      break;
+  }
+  directory_ = std::make_unique<registry::ServiceDirectory>(
+      util::derive_seed(config_.seed, "directory", 0), *ring_, catalog_);
+  neighbors_ = std::make_unique<probe::NeighborResolution>(
+      config_.probe_budget, config_.neighbor_ttl);
+  manager_ = std::make_unique<session::SessionManager>(simulator_, *peers_,
+                                                       *network_, catalog_);
+
+  const core::GridServices services{&catalog_,   &placement_, directory_.get(),
+                                    peers_.get(), network_.get(),
+                                    neighbors_.get()};
+  const std::size_t kinds = peers_->schema().kinds();
+  const auto weights =
+      config_.bandwidth_weight < 0
+          ? qos::TupleWeights::uniform(kinds)
+          : qos::TupleWeights(
+                util::SmallVec<double, qos::kMaxResources>(
+                    kinds, (1.0 - config_.bandwidth_weight) /
+                               static_cast<double>(kinds)),
+                config_.bandwidth_weight);
+  switch (config_.algorithm) {
+    case AlgorithmKind::kQsa:
+      algorithm_ = std::make_unique<core::QsaAlgorithm>(
+          services, weights, peers_->schema(),
+          util::derive_seed(config_.seed, "algo", 0), config_.qsa_options);
+      break;
+    case AlgorithmKind::kRandom:
+      algorithm_ = std::make_unique<core::RandomAlgorithm>(
+          services, weights, peers_->schema(),
+          util::derive_seed(config_.seed, "algo", 0));
+      break;
+    case AlgorithmKind::kFixed:
+      algorithm_ = std::make_unique<core::FixedAlgorithm>(services, weights,
+                                                          peers_->schema());
+      break;
+  }
+
+  if (config_.enable_recovery) {
+    recovery_selector_ = std::make_unique<core::PeerSelector>(
+        weights, peers_->schema(), config_.qsa_options.selector);
+    manager_->set_recovery([this](const session::Session& s,
+                                  std::size_t position, net::PeerId failed) {
+      return select_replacement(s, position, failed);
+    });
+  }
+
+  manager_->set_outcome_callback(
+      [this](const session::Session& s, core::FailureCause cause) {
+        auto it = pending_window_.find(s.id);
+        // Sessions injected directly via sessions().start_session (examples,
+        // tests) bypass request accounting and have no arrival window.
+        if (it == pending_window_.end()) return;
+        const std::size_t window = it->second;
+        pending_window_.erase(it);
+        if (cause == core::FailureCause::kNone) {
+          record_outcome(window, true);
+        } else {
+          QSA_ASSERT(cause == core::FailureCause::kDeparture);
+          ++result_.failures_departure;
+          record_outcome(window, false);
+        }
+      });
+
+  bootstrap();
+}
+
+GridSimulation::~GridSimulation() = default;
+
+void GridSimulation::bootstrap() {
+  // Peers, pre-aged so uptimes are meaningful at t = 0.
+  for (std::size_t i = 0; i < config_.peers; ++i) {
+    const double tier =
+        grid_rng_.uniform(config_.min_capacity, config_.max_capacity);
+    const double age_min = grid_rng_.uniform(0.0, config_.max_initial_age_min);
+    const net::PeerId id =
+        peers_->add_peer(qos::ResourceVector{tier, tier},
+                         sim::SimTime::minutes(-age_min));
+    ring_->join(id);
+  }
+  ring_->stabilize_all();
+
+  // Placement: each instance gets 40-80 distinct random providers.
+  for (registry::InstanceId inst = 0; inst < catalog_.instance_count();
+       ++inst) {
+    const int copies = static_cast<int>(grid_rng_.uniform_int(
+        config_.min_providers, config_.max_providers));
+    const auto& alive = peers_->alive_ids();
+    std::unordered_set<net::PeerId> chosen;
+    while (static_cast<int>(chosen.size()) <
+           std::min<int>(copies, static_cast<int>(alive.size()))) {
+      chosen.insert(alive[grid_rng_.index(alive.size())]);
+    }
+    for (net::PeerId p : chosen) placement_.add_provider(inst, p);
+  }
+
+  directory_->publish_all();
+}
+
+core::AggregationPlan GridSimulation::submit_request(
+    const core::ServiceRequest& request) {
+  return algorithm_->aggregate(request, simulator_.now());
+}
+
+void GridSimulation::record_outcome(std::size_t window, bool success) {
+  if (window >= windows_.size()) windows_.resize(window + 1);
+  // attempts were counted at arrival; only successes land here.
+  if (success) {
+    ++windows_[window].successes;
+    ++result_.successes;
+  }
+}
+
+void GridSimulation::handle_request(const core::ServiceRequest& request) {
+  const sim::SimTime now = simulator_.now();
+  const auto window = static_cast<std::size_t>(
+      now.as_millis() / config_.sample_period.as_millis());
+  if (window >= windows_.size()) windows_.resize(window + 1);
+  ++windows_[window].attempts;
+  ++result_.requests;
+
+  core::ServiceRequest attempt = request;
+  core::FailureCause cause = core::FailureCause::kNone;
+  for (int tries = 0; tries <= config_.admission_retries; ++tries) {
+    core::AggregationPlan plan = algorithm_->aggregate(attempt, now);
+    result_.lookup_hops += static_cast<std::uint64_t>(plan.lookup_hops);
+    result_.setup_latency_ms +=
+        static_cast<std::uint64_t>(plan.setup_latency.as_millis());
+    result_.random_fallback_hops +=
+        static_cast<std::uint64_t>(plan.random_fallback_hops);
+    cause = plan.failure;
+    if (!plan.ok()) break;
+    composition_cost_sum_ += plan.composition_cost;
+    ++composed_;
+
+    net::PeerId blamed = net::kNoPeer;
+    cause = manager_->start_session(attempt, plan, &blamed);
+    if (cause != core::FailureCause::kAdmission || blamed == net::kNoPeer) {
+      break;
+    }
+    // Second chance: exclude the peer whose reservation fell short and
+    // re-select. Only worthwhile while retries remain.
+    if (tries < config_.admission_retries) {
+      attempt.excluded_hosts.push_back(blamed);
+      result_.counters.add("admission.retries");
+    }
+  }
+  switch (cause) {
+    case core::FailureCause::kNone: {
+      // Outcome decided later (completion or departure abort). Session ids
+      // are handed out sequentially; the one just admitted is the newest.
+      const session::SessionId id = manager_->last_session_id();
+      pending_window_.emplace(id, window);
+      break;
+    }
+    case core::FailureCause::kDiscovery:
+      ++result_.failures_discovery;
+      break;
+    case core::FailureCause::kComposition:
+      ++result_.failures_composition;
+      break;
+    case core::FailureCause::kSelection:
+      ++result_.failures_selection;
+      break;
+    case core::FailureCause::kAdmission:
+      ++result_.failures_admission;
+      break;
+    case core::FailureCause::kDeparture:
+      ++result_.failures_departure;
+      break;
+  }
+}
+
+net::PeerId GridSimulation::select_replacement(const session::Session& s,
+                                               std::size_t position,
+                                               net::PeerId failed) {
+  const auto providers = placement_.providers(s.instances[position]);
+  std::vector<net::PeerId> candidates;
+  for (net::PeerId p : providers) {
+    if (p != failed && peers_->alive(p)) candidates.push_back(p);
+  }
+  if (candidates.empty()) return net::kNoPeer;
+
+  // The downstream consumer (who notices the stream stopping) selects.
+  const net::PeerId detector = position + 1 < s.hosts.size()
+                                   ? s.hosts[position + 1]
+                                   : s.requester;
+  if (!peers_->alive(detector)) return net::kNoPeer;
+  const sim::SimTime now = simulator_.now();
+  neighbors_->prepare_selection(detector, candidates, 1, /*direct=*/false,
+                                now);
+  const auto& inst = catalog_.instance(s.instances[position]);
+  const auto sel = recovery_selector_->select_hop(
+      *peers_, *network_, neighbors_->table(detector), detector, inst,
+      candidates, s.end - now, now, recovery_rng_);
+  return sel.peer;
+}
+
+void GridSimulation::depart_peer(net::PeerId peer) {
+  if (!peers_->alive(peer)) return;
+  manager_->peer_departed(peer);
+  placement_.remove_peer(peer);
+  ring_->fail(peer);
+  neighbors_->drop_peer(peer);
+  peers_->remove_peer(peer, simulator_.now());
+}
+
+net::PeerId GridSimulation::arrive_peer() {
+  const double tier =
+      grid_rng_.uniform(config_.min_capacity, config_.max_capacity);
+  const net::PeerId id = peers_->add_peer(qos::ResourceVector{tier, tier},
+                                          simulator_.now());
+  ring_->join(id);
+  // A newcomer contributes a few instance copies.
+  const int hosted = static_cast<int>(grid_rng_.uniform_int(
+      config_.arrival_hosted_min, config_.arrival_hosted_max));
+  for (int i = 0; i < hosted && catalog_.instance_count() > 0; ++i) {
+    placement_.add_provider(
+        static_cast<registry::InstanceId>(
+            grid_rng_.index(catalog_.instance_count())),
+        id);
+  }
+  return id;
+}
+
+GridResult GridSimulation::run() {
+  const sim::SimTime horizon = config_.horizon;
+
+  // Periodic maintenance: overlay stabilization and directory republish.
+  simulator_.every(config_.stabilize_period, config_.stabilize_period,
+                   [this] { ring_->stabilize_round(config_.stabilize_fraction); });
+  simulator_.every(config_.republish_period, config_.republish_period,
+                   [this] { directory_->publish_all(); });
+
+  // Workload.
+  workload::RequestParams rp = config_.requests;
+  rp.seed = util::derive_seed(config_.seed, "requests-root", 0);
+  workload::RequestGenerator generator(
+      simulator_, *apps_, universe_, *peers_, rp,
+      [this](const core::ServiceRequest& req, const workload::Application&,
+             workload::QosLevel) { handle_request(req); });
+  generator.start(horizon);
+
+  // Churn.
+  workload::ChurnParams cp = config_.churn;
+  cp.seed = util::derive_seed(config_.seed, "churn-root", 0);
+  workload::ChurnProcess churn(
+      simulator_, *peers_, cp, [this](net::PeerId p) { depart_peer(p); },
+      [this] { arrive_peer(); });
+  churn.start(horizon);
+
+  simulator_.run_until(horizon);
+
+  // Sessions still healthy at the horizon count as successes.
+  for (const auto& [id, window] : pending_window_) {
+    record_outcome(window, true);
+  }
+  pending_window_.clear();
+
+  // Emit the arrival-bucketed psi series.
+  for (std::size_t w = 0; w < windows_.size(); ++w) {
+    if (windows_[w].attempts == 0) continue;
+    const auto t = sim::SimTime::millis(
+        static_cast<std::int64_t>(w + 1) * config_.sample_period.as_millis());
+    result_.series.record(t, static_cast<double>(windows_[w].successes) /
+                                 static_cast<double>(windows_[w].attempts));
+  }
+
+  result_.notification_messages = neighbors_->messages();
+  result_.churn_departures = churn.departures();
+  result_.churn_arrivals = churn.arrivals();
+  result_.avg_composition_cost =
+      composed_ == 0 ? 0 : composition_cost_sum_ / static_cast<double>(composed_);
+  result_.counters.add("sessions.admitted", manager_->stats().admitted);
+  result_.counters.add("sessions.completed", manager_->stats().completed);
+  result_.counters.add("sessions.aborted", manager_->stats().aborted);
+  result_.counters.add("sessions.recovered", manager_->stats().recovered);
+  result_.counters.add("sessions.rejected", manager_->stats().rejected);
+  result_.counters.add("events.executed", simulator_.executed_events());
+  result_.counters.add("net.active_pairs", network_->active_pairs());
+  return result_;
+}
+
+}  // namespace qsa::harness

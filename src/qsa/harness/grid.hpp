@@ -1,0 +1,153 @@
+// GridSimulation: one complete simulated P2P computing grid — peers, WAN
+// model, Chord ring, service catalog and placement, probing subsystem,
+// workload and churn processes, the aggregation algorithm under test, and
+// session accounting. Construct it from a GridConfig, call run(), read the
+// GridResult.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "qsa/core/aggregate.hpp"
+#include "qsa/core/baselines.hpp"
+#include "qsa/harness/config.hpp"
+#include "qsa/metrics/counters.hpp"
+#include "qsa/metrics/timeseries.hpp"
+#include "qsa/net/network.hpp"
+#include "qsa/net/peer.hpp"
+#include "qsa/overlay/lookup.hpp"
+#include "qsa/probe/resolution.hpp"
+#include "qsa/registry/catalog.hpp"
+#include "qsa/registry/directory.hpp"
+#include "qsa/registry/placement.hpp"
+#include "qsa/session/manager.hpp"
+#include "qsa/sim/simulator.hpp"
+#include "qsa/util/interner.hpp"
+#include "qsa/util/rng.hpp"
+#include "qsa/workload/apps.hpp"
+
+namespace qsa::harness {
+
+/// Aggregated outcome of one simulation run.
+struct GridResult {
+  std::uint64_t requests = 0;
+  std::uint64_t successes = 0;  ///< completed (or still healthy at horizon)
+  std::uint64_t failures_discovery = 0;
+  std::uint64_t failures_composition = 0;
+  std::uint64_t failures_selection = 0;
+  std::uint64_t failures_admission = 0;
+  std::uint64_t failures_departure = 0;
+
+  /// The paper's metric psi = successes / requests (1.0 when no requests).
+  [[nodiscard]] double success_ratio() const noexcept {
+    return requests == 0
+               ? 1.0
+               : static_cast<double>(successes) / static_cast<double>(requests);
+  }
+
+  /// psi per sample window, bucketed by request *arrival* time (how the
+  /// fluctuation figures attribute outcomes).
+  metrics::TimeSeries series;
+
+  /// Protocol/overhead observations.
+  std::uint64_t notification_messages = 0;
+  std::uint64_t lookup_hops = 0;
+  std::uint64_t setup_latency_ms = 0;  ///< summed discovery latency
+  std::uint64_t random_fallback_hops = 0;
+  std::uint64_t churn_departures = 0;
+  std::uint64_t churn_arrivals = 0;
+  double avg_composition_cost = 0;  ///< mean over composed requests
+  metrics::Counters counters;       ///< everything else, by name
+};
+
+class GridSimulation {
+ public:
+  explicit GridSimulation(GridConfig config);
+  ~GridSimulation();
+
+  GridSimulation(const GridSimulation&) = delete;
+  GridSimulation& operator=(const GridSimulation&) = delete;
+
+  /// Runs the configured horizon and returns the accounting.
+  GridResult run();
+
+  /// Injects one request immediately (examples/tests drive the grid
+  /// manually with this instead of the Poisson generator).
+  core::AggregationPlan submit_request(const core::ServiceRequest& request);
+
+  // --- component access for examples, tests and ablations ---
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+  [[nodiscard]] net::PeerTable& peers() noexcept { return *peers_; }
+  [[nodiscard]] net::NetworkModel& network() noexcept { return *network_; }
+  [[nodiscard]] overlay::LookupService& ring() noexcept { return *ring_; }
+  [[nodiscard]] registry::ServiceCatalog& catalog() noexcept {
+    return catalog_;
+  }
+  [[nodiscard]] registry::PlacementMap& placement() noexcept {
+    return placement_;
+  }
+  [[nodiscard]] const registry::QosUniverse& universe() const noexcept {
+    return universe_;
+  }
+  [[nodiscard]] const workload::ApplicationCatalog& apps() const noexcept {
+    return *apps_;
+  }
+  [[nodiscard]] core::AggregationAlgorithm& algorithm() noexcept {
+    return *algorithm_;
+  }
+  [[nodiscard]] session::SessionManager& sessions() noexcept {
+    return *manager_;
+  }
+  [[nodiscard]] const GridConfig& config() const noexcept { return config_; }
+
+  /// Departs a peer through the full churn path (sessions, placement, ring,
+  /// neighbor state, table).
+  void depart_peer(net::PeerId peer);
+
+  /// Adds a fresh peer (random capacity, hosts a few random instances).
+  net::PeerId arrive_peer();
+
+ private:
+  void bootstrap();
+  void handle_request(const core::ServiceRequest& request);
+  void record_outcome(std::size_t window, bool success);
+  /// Recovery policy: the downstream neighbor of the failed hop re-runs one
+  /// dynamic-peer-selection step over the surviving providers.
+  net::PeerId select_replacement(const session::Session& s,
+                                 std::size_t position, net::PeerId failed);
+
+  GridConfig config_;
+  util::Interner interner_;
+  registry::QosUniverse universe_;
+  std::unique_ptr<qos::QosTranslator> translator_;
+  registry::ServiceCatalog catalog_;
+  std::unique_ptr<workload::ApplicationCatalog> apps_;
+
+  sim::Simulator simulator_;
+  std::unique_ptr<net::PeerTable> peers_;
+  std::unique_ptr<net::NetworkModel> network_;
+  std::unique_ptr<overlay::LookupService> ring_;
+  registry::PlacementMap placement_;
+  std::unique_ptr<registry::ServiceDirectory> directory_;
+  std::unique_ptr<probe::NeighborResolution> neighbors_;
+  std::unique_ptr<core::AggregationAlgorithm> algorithm_;
+  std::unique_ptr<session::SessionManager> manager_;
+  std::unique_ptr<core::PeerSelector> recovery_selector_;
+
+  util::Rng grid_rng_;
+  util::Rng recovery_rng_;
+
+  // Outcome accounting bucketed by arrival window.
+  struct Window {
+    std::uint64_t attempts = 0;
+    std::uint64_t successes = 0;
+  };
+  std::vector<Window> windows_;
+  std::unordered_map<session::SessionId, std::size_t> pending_window_;
+  GridResult result_;
+  double composition_cost_sum_ = 0;
+  std::uint64_t composed_ = 0;
+};
+
+}  // namespace qsa::harness

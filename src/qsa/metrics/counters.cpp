@@ -1,0 +1,19 @@
+#include "qsa/metrics/counters.hpp"
+
+namespace qsa::metrics {
+
+void Counters::add(std::string_view name, std::uint64_t delta) {
+  auto it = counts_.find(name);
+  if (it == counts_.end()) {
+    counts_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::uint64_t Counters::get(std::string_view name) const {
+  auto it = counts_.find(name);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace qsa::metrics

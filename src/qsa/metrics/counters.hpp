@@ -1,0 +1,30 @@
+// Named event counters for a simulation run (requests by outcome, failure
+// causes, protocol overhead, ...).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace qsa::metrics {
+
+class Counters {
+ public:
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  [[nodiscard]] std::uint64_t get(std::string_view name) const;
+
+  /// All counters in name order (deterministic output).
+  [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>& all()
+      const noexcept {
+    return counts_;
+  }
+
+  void clear() { counts_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counts_;
+};
+
+}  // namespace qsa::metrics

@@ -1,0 +1,60 @@
+#include "qsa/metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::metrics {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0;
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Summary::merge(const Summary& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  mean_ = (na * mean_ + nb * other.mean_) / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::vector<double> values, double p) {
+  QSA_EXPECTS(!values.empty());
+  QSA_EXPECTS(p >= 0 && p <= 100);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1 - frac) + values[lo + 1] * frac;
+}
+
+}  // namespace qsa::metrics

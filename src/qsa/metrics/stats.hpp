@@ -1,0 +1,40 @@
+// Streaming summary statistics (Welford) and percentile extraction for
+// experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qsa::metrics {
+
+/// Single-pass mean/variance/min/max accumulator.
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator (parallel replication reduction).
+  void merge(const Summary& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+/// Percentile (0 <= p <= 100) by linear interpolation between order
+/// statistics; the input is copied and sorted.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+}  // namespace qsa::metrics

@@ -1,0 +1,60 @@
+#include "qsa/metrics/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::metrics {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  QSA_EXPECTS(!columns_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  QSA_EXPECTS(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c ? "  " : "");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  os << std::string(total + 2 * (columns_.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c ? "," : "") << cells[c];
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  for (const auto& row : rows_) emit_row(row);
+}
+
+}  // namespace qsa::metrics

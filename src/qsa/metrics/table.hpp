@@ -1,0 +1,42 @@
+// Aligned-text and CSV table emission for the bench harness: every figure
+// bench prints the series it regenerates as both a human-readable table and
+// machine-readable CSV rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qsa::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Adds a row; must have exactly as many cells as there are columns.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string num(double v, int precision = 3);
+
+  /// Column-aligned rendering with a header rule.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data()
+      const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qsa::metrics

@@ -1,0 +1,24 @@
+#include "qsa/metrics/timeseries.hpp"
+
+namespace qsa::metrics {
+
+double TimeSeries::mean() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (const Sample& s : samples_) sum += s.value;
+  return sum / static_cast<double>(samples_.size());
+}
+
+void RatioSampler::flush(TimeSeries& out, sim::SimTime now, bool skip_idle,
+                         double idle_value) {
+  if (attempts_ == 0) {
+    if (!skip_idle) out.record(now, idle_value);
+  } else {
+    out.record(now, static_cast<double>(successes_) /
+                        static_cast<double>(attempts_));
+  }
+  successes_ = 0;
+  attempts_ = 0;
+}
+
+}  // namespace qsa::metrics

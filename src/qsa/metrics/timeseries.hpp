@@ -1,0 +1,60 @@
+// Time series of sampled metric values (the success-ratio fluctuation plots
+// of Figures 6 and 8 sample psi every 2 minutes).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qsa/sim/time.hpp"
+
+namespace qsa::metrics {
+
+struct Sample {
+  sim::SimTime time;
+  double value = 0;
+};
+
+class TimeSeries {
+ public:
+  void record(sim::SimTime time, double value) {
+    samples_.push_back(Sample{time, value});
+  }
+
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Mean of the sample values (0 when empty).
+  [[nodiscard]] double mean() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Windowed ratio sampler: counts successes/attempts since the last flush
+/// and emits their ratio as one sample (how the paper's fluctuation figures
+/// are computed).
+class RatioSampler {
+ public:
+  void success() { ++successes_; ++attempts_; }
+  void failure() { ++attempts_; }
+
+  /// Emits the window's ratio into `out` and resets the window. Windows with
+  /// no attempts emit `idle_value` (Figures 6/8 plot 1.0 when nothing
+  /// failed because nothing arrived is not meaningful; we default to
+  /// skipping such windows).
+  void flush(TimeSeries& out, sim::SimTime now, bool skip_idle = true,
+             double idle_value = 1.0);
+
+  [[nodiscard]] std::uint64_t window_attempts() const noexcept {
+    return attempts_;
+  }
+
+ private:
+  std::uint64_t successes_ = 0;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace qsa::metrics

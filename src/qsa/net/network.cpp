@@ -1,0 +1,74 @@
+#include "qsa/net/network.hpp"
+
+#include <algorithm>
+
+#include "qsa/util/expects.hpp"
+#include "qsa/util/rng.hpp"
+
+namespace qsa::net {
+
+NetworkModel::NetworkModel(std::uint64_t seed, ProbeClock clock)
+    : seed_(seed), clock_(clock) {}
+
+std::uint64_t NetworkModel::pair_key(PeerId a, PeerId b) noexcept {
+  const PeerId lo = std::min(a, b);
+  const PeerId hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+std::uint64_t NetworkModel::pair_hash(PeerId a, PeerId b,
+                                      std::uint64_t purpose) const noexcept {
+  return util::mix64(util::hash_combine(seed_ ^ purpose, pair_key(a, b)));
+}
+
+double NetworkModel::capacity_kbps(PeerId a, PeerId b) const {
+  if (a == b) return 1e9;  // loopback: effectively unconstrained
+  constexpr std::size_t n = std::size(kBandwidthLevelsKbps);
+  return kBandwidthLevelsKbps[pair_hash(a, b, util::hash_str("bw")) % n];
+}
+
+sim::SimTime NetworkModel::latency(PeerId a, PeerId b) const {
+  if (a == b) return sim::SimTime::zero();
+  constexpr std::size_t n = std::size(kLatencyLevelsMs);
+  return sim::SimTime::millis(
+      kLatencyLevelsMs[pair_hash(a, b, util::hash_str("lat")) % n]);
+}
+
+double NetworkModel::available_kbps(PeerId a, PeerId b) const {
+  const auto it = links_.find(pair_key(a, b));
+  const double reserved = it == links_.end() ? 0.0 : it->second.live();
+  return capacity_kbps(a, b) - reserved;
+}
+
+double NetworkModel::probed_available_kbps(PeerId a, PeerId b,
+                                           sim::SimTime now) const {
+  const auto it = links_.find(pair_key(a, b));
+  const double reserved =
+      it == links_.end() ? 0.0 : it->second.probed(clock_.epoch(now));
+  return capacity_kbps(a, b) - reserved;
+}
+
+bool NetworkModel::try_reserve(PeerId a, PeerId b, double kbps,
+                               sim::SimTime now) {
+  QSA_EXPECTS(kbps >= 0);
+  if (kbps > available_kbps(a, b)) return false;
+  links_[pair_key(a, b)].mutate(clock_.epoch(now),
+                                [&](double& r) { r += kbps; });
+  return true;
+}
+
+void NetworkModel::release(PeerId a, PeerId b, double kbps, sim::SimTime now) {
+  QSA_EXPECTS(kbps >= 0);
+  auto it = links_.find(pair_key(a, b));
+  QSA_EXPECTS(it != links_.end());
+  it->second.mutate(clock_.epoch(now), [&](double& r) {
+    r -= kbps;
+    if (r < 0 && r >= -1e-9) r = 0;
+  });
+  QSA_ENSURES(it->second.live() > -1e-9);
+  // Entries are kept even at zero reservation: the epoch snapshot must stay
+  // visible until the next epoch; the map stays bounded by concurrent
+  // sessions in practice.
+}
+
+}  // namespace qsa::net

@@ -1,0 +1,66 @@
+// Wide-area network model between peers (Section 4.1).
+//
+// The paper does not model a router topology; it assigns each peer pair an
+// end-to-end bottleneck bandwidth drawn from {10 Mbps, 500 kbps, 100 kbps,
+// 56 kbps} and a latency from {200, 150, 80, 20, 1} ms. A 10^4-peer grid has
+// 5*10^7 pairs, so we derive each pair's base values from a deterministic
+// hash of (seed, unordered pair) — identical marginal distributions, zero
+// storage — and keep state only for pairs with active reservations.
+// Bandwidth reservations carry the same probe-epoch snapshot semantics as
+// peer resources.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "qsa/net/peer.hpp"
+#include "qsa/net/reservations.hpp"
+#include "qsa/sim/time.hpp"
+
+namespace qsa::net {
+
+class NetworkModel {
+ public:
+  /// Paper value sets.
+  static constexpr double kBandwidthLevelsKbps[] = {10'000, 500, 100, 56};
+  static constexpr std::int64_t kLatencyLevelsMs[] = {200, 150, 80, 20, 1};
+
+  NetworkModel(std::uint64_t seed, ProbeClock clock);
+
+  /// Bottleneck capacity of the (a, b) pair in kbps; symmetric; huge for the
+  /// degenerate a == b pair (a peer talking to itself).
+  [[nodiscard]] double capacity_kbps(PeerId a, PeerId b) const;
+
+  /// Application-level one-way latency of the pair; 0 for a == b.
+  [[nodiscard]] sim::SimTime latency(PeerId a, PeerId b) const;
+
+  /// Ground-truth available bandwidth (capacity - live reservations).
+  [[nodiscard]] double available_kbps(PeerId a, PeerId b) const;
+
+  /// Available bandwidth as a prober sees it at `now` (epoch-start state).
+  [[nodiscard]] double probed_available_kbps(PeerId a, PeerId b,
+                                             sim::SimTime now) const;
+
+  /// Reserves `kbps` on the pair; false (no change) when short.
+  [[nodiscard]] bool try_reserve(PeerId a, PeerId b, double kbps,
+                                 sim::SimTime now);
+
+  /// Releases a prior reservation.
+  void release(PeerId a, PeerId b, double kbps, sim::SimTime now);
+
+  /// Number of pairs currently carrying reservations (memory footprint).
+  [[nodiscard]] std::size_t active_pairs() const noexcept {
+    return links_.size();
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t pair_key(PeerId a, PeerId b) noexcept;
+  [[nodiscard]] std::uint64_t pair_hash(PeerId a, PeerId b,
+                                        std::uint64_t purpose) const noexcept;
+
+  std::uint64_t seed_;
+  ProbeClock clock_;
+  std::unordered_map<std::uint64_t, Snapshotted<double>> links_;
+};
+
+}  // namespace qsa::net

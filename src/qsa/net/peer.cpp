@@ -1,0 +1,105 @@
+#include "qsa/net/peer.hpp"
+
+#include <utility>
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::net {
+
+Peer::Peer(PeerId id, qos::ResourceVector capacity, sim::SimTime join_time,
+           sim::SimTime planned_departure)
+    : id_(id),
+      capacity_(capacity),
+      reserved_(qos::ResourceVector::zeros(capacity.size())),
+      join_time_(join_time),
+      planned_departure_(planned_departure) {
+  QSA_EXPECTS(capacity.nonnegative());
+}
+
+PeerTable::PeerTable(qos::ResourceSchema schema, ProbeClock clock)
+    : schema_(std::move(schema)), clock_(clock) {}
+
+PeerId PeerTable::add_peer(qos::ResourceVector capacity, sim::SimTime join_time,
+                           sim::SimTime planned_departure) {
+  QSA_EXPECTS(capacity.size() == schema_.kinds());
+  const PeerId id = static_cast<PeerId>(peers_.size());
+  peers_.emplace_back(id, capacity, join_time, planned_departure);
+  peers_.back().alive_slot_ = static_cast<std::uint32_t>(alive_ids_.size());
+  alive_ids_.push_back(id);
+  return id;
+}
+
+void PeerTable::remove_peer(PeerId id, sim::SimTime now) {
+  QSA_EXPECTS(id < peers_.size());
+  Peer& p = peers_[id];
+  if (!p.alive_) return;
+  p.alive_ = false;
+  p.departed_at_ = now;
+  // Swap-remove from the alive list, fixing the moved peer's slot.
+  const std::uint32_t slot = p.alive_slot_;
+  const PeerId moved = alive_ids_.back();
+  alive_ids_[slot] = moved;
+  peers_[moved].alive_slot_ = slot;
+  alive_ids_.pop_back();
+}
+
+const Peer& PeerTable::peer(PeerId id) const {
+  QSA_EXPECTS(id < peers_.size());
+  return peers_[id];
+}
+
+bool PeerTable::alive(PeerId id) const {
+  return id < peers_.size() && peers_[id].alive_;
+}
+
+bool PeerTable::try_reserve(PeerId id, const qos::ResourceVector& r,
+                            sim::SimTime now) {
+  QSA_EXPECTS(id < peers_.size());
+  QSA_EXPECTS(r.nonnegative());
+  Peer& p = peers_[id];
+  if (!p.alive_) return false;
+  if (!r.fits_within(p.available())) return false;
+  p.reserved_.mutate(clock_.epoch(now),
+                     [&](qos::ResourceVector& res) { res += r; });
+  return true;
+}
+
+void PeerTable::release(PeerId id, const qos::ResourceVector& r,
+                        sim::SimTime now) {
+  QSA_EXPECTS(id < peers_.size());
+  Peer& p = peers_[id];
+  if (!p.alive_) return;  // reservations died with the peer
+  p.reserved_.mutate(clock_.epoch(now), [&](qos::ResourceVector& res) {
+    res -= r;
+    res.clamp_negative_zero();
+  });
+  QSA_ENSURES(p.reserved_.live().nonnegative());
+}
+
+bool PeerTable::probed_alive(PeerId id, sim::SimTime now) const {
+  QSA_EXPECTS(id < peers_.size());
+  const Peer& p = peers_[id];
+  if (p.alive_) return true;
+  const std::int64_t epoch = clock_.epoch(now);
+  const sim::SimTime boundary =
+      sim::SimTime::millis(epoch * clock_.period().as_millis());
+  return p.departed_at_ > boundary;
+}
+
+qos::ResourceVector PeerTable::probed_available(PeerId id,
+                                                sim::SimTime now) const {
+  QSA_EXPECTS(id < peers_.size());
+  return peers_[id].probed_available(clock_.epoch(now));
+}
+
+sim::SimTime PeerTable::probed_uptime(PeerId id, sim::SimTime now) const {
+  QSA_EXPECTS(id < peers_.size());
+  // The prober saw the peer at the last epoch boundary; its uptime reading
+  // is relative to that instant.
+  const std::int64_t epoch = clock_.epoch(now);
+  const sim::SimTime boundary =
+      sim::SimTime::millis(epoch * clock_.period().as_millis());
+  return boundary - peers_[id].join_time();
+}
+
+}  // namespace qsa::net

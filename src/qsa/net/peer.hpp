@@ -1,0 +1,135 @@
+// Peers and the peer table.
+//
+// A peer is a voluntarily participating host with heterogeneous end-system
+// capacity (the paper draws [cpu, mem] in [100,100]..[1000,1000] units), a
+// join time (possibly negative: pre-aged at simulation start), an optional
+// planned departure (churn), and a reservation ledger for admitted sessions.
+// Probe-visible state (resource availability) carries epoch-snapshot
+// semantics; uptime is computed against the probe-epoch boundary for the
+// same reason.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qsa/net/reservations.hpp"
+#include "qsa/qos/resources.hpp"
+#include "qsa/sim/time.hpp"
+
+namespace qsa::net {
+
+/// Dense peer identifier; ids are never reused within a simulation.
+using PeerId = std::uint32_t;
+inline constexpr PeerId kNoPeer = ~PeerId{0};
+
+class Peer {
+ public:
+  Peer(PeerId id, qos::ResourceVector capacity, sim::SimTime join_time,
+       sim::SimTime planned_departure);
+
+  [[nodiscard]] PeerId id() const noexcept { return id_; }
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  [[nodiscard]] const qos::ResourceVector& capacity() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] sim::SimTime join_time() const noexcept { return join_time_; }
+  [[nodiscard]] sim::SimTime planned_departure() const noexcept {
+    return planned_departure_;
+  }
+
+  /// Time connected so far. Requires alive().
+  [[nodiscard]] sim::SimTime uptime(sim::SimTime now) const noexcept {
+    return now - join_time_;
+  }
+
+  /// Ground-truth available resources (capacity - live reservations).
+  [[nodiscard]] qos::ResourceVector available() const {
+    return capacity_ - reserved_.live();
+  }
+
+  /// Available resources as a prober sees them in `epoch`.
+  [[nodiscard]] qos::ResourceVector probed_available(std::int64_t epoch) const {
+    return capacity_ - reserved_.probed(epoch);
+  }
+
+  /// When the peer departed; SimTime::infinity() while alive.
+  [[nodiscard]] sim::SimTime departed_at() const noexcept {
+    return departed_at_;
+  }
+
+ private:
+  friend class PeerTable;
+
+  PeerId id_;
+  qos::ResourceVector capacity_;
+  Snapshotted<qos::ResourceVector> reserved_;
+  sim::SimTime join_time_;
+  sim::SimTime planned_departure_;
+  sim::SimTime departed_at_ = sim::SimTime::infinity();
+  bool alive_ = true;
+  std::uint32_t alive_slot_ = 0;  // index into PeerTable::alive_ids_
+};
+
+/// Owns all peers ever seen by a simulation and tracks the alive set with
+/// O(1) insertion/removal and O(1) uniform sampling support.
+class PeerTable {
+ public:
+  PeerTable(qos::ResourceSchema schema, ProbeClock clock);
+
+  [[nodiscard]] const qos::ResourceSchema& schema() const noexcept {
+    return schema_;
+  }
+  [[nodiscard]] const ProbeClock& clock() const noexcept { return clock_; }
+
+  /// Adds a peer; `planned_departure` = SimTime::infinity() when churn never
+  /// removes it. Returns its id.
+  PeerId add_peer(qos::ResourceVector capacity, sim::SimTime join_time,
+                  sim::SimTime planned_departure = sim::SimTime::infinity());
+
+  /// Marks a peer departed at `now`. Its reservations evaporate with it
+  /// (sessions it hosted are failed by the session manager). No-op if
+  /// already gone.
+  void remove_peer(PeerId id, sim::SimTime now);
+
+  /// Liveness as a prober sees it at `now`: a peer that departed after the
+  /// current probe-epoch boundary still looks alive (the prober has not
+  /// probed since).
+  [[nodiscard]] bool probed_alive(PeerId id, sim::SimTime now) const;
+
+  [[nodiscard]] const Peer& peer(PeerId id) const;
+  [[nodiscard]] bool alive(PeerId id) const;
+
+  [[nodiscard]] std::size_t total_peers() const noexcept { return peers_.size(); }
+  [[nodiscard]] std::size_t alive_count() const noexcept {
+    return alive_ids_.size();
+  }
+  /// Ids of currently alive peers, in unspecified order (stable between
+  /// mutations); suitable for uniform random sampling.
+  [[nodiscard]] const std::vector<PeerId>& alive_ids() const noexcept {
+    return alive_ids_;
+  }
+
+  /// Attempts to reserve `r` on the peer at time `now`; false (and no
+  /// change) if the peer is gone or short on any resource kind.
+  [[nodiscard]] bool try_reserve(PeerId id, const qos::ResourceVector& r,
+                                 sim::SimTime now);
+
+  /// Releases a prior reservation. No-op on a departed peer (its ledger died
+  /// with it).
+  void release(PeerId id, const qos::ResourceVector& r, sim::SimTime now);
+
+  /// Probe-visible availability of a peer at `now` (epoch-start state).
+  [[nodiscard]] qos::ResourceVector probed_available(PeerId id,
+                                                     sim::SimTime now) const;
+
+  /// Probe-visible uptime: measured at the epoch boundary a prober last saw.
+  [[nodiscard]] sim::SimTime probed_uptime(PeerId id, sim::SimTime now) const;
+
+ private:
+  qos::ResourceSchema schema_;
+  ProbeClock clock_;
+  std::vector<Peer> peers_;
+  std::vector<PeerId> alive_ids_;
+};
+
+}  // namespace qsa::net

@@ -1,0 +1,4 @@
+// Intentionally empty: reservations.hpp is header-only templates; this
+// translation unit exists so the target always has at least one object per
+// header group and the header is compiled standalone at least once.
+#include "qsa/net/reservations.hpp"

@@ -1,0 +1,88 @@
+// Epoch-snapshot state: the mechanism behind "probed" (stale) performance
+// information.
+//
+// The paper's peers probe their neighbors periodically; a selector therefore
+// acts on each neighbor's state as of the last probe, not its live state.
+// Simulating every probe as an event costs O(peers * neighbors / period)
+// events. Instead each piece of probe-visible state keeps, alongside its
+// live value, a snapshot of its value at the start of the current probe
+// epoch, maintained lazily:
+//
+//   * mutation at epoch e: if the last snapshot is older than e, the live
+//     value has not changed since before e started, so it *is* the
+//     epoch-start value — save it, then mutate;
+//   * read-as-probed at epoch e: if the last snapshot is older than e the
+//     live value is still the epoch-start value; otherwise the snapshot is.
+//
+// This yields exactly the value at the epoch boundary in O(1) per mutation
+// with zero events — equivalent to all peers probing synchronously at epoch
+// boundaries (a documented simplification of per-pair probe phases).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "qsa/sim/time.hpp"
+#include "qsa/util/expects.hpp"
+
+namespace qsa::net {
+
+/// Maps simulation time to probe-epoch indices.
+class ProbeClock {
+ public:
+  explicit ProbeClock(sim::SimTime period = sim::SimTime::seconds(30))
+      : period_ms_(period.as_millis()) {
+    QSA_EXPECTS(period_ms_ > 0);
+  }
+
+  [[nodiscard]] sim::SimTime period() const noexcept {
+    return sim::SimTime::millis(period_ms_);
+  }
+
+  /// Epoch index containing `now` (floor division; join times may be
+  /// negative to pre-age peers).
+  [[nodiscard]] std::int64_t epoch(sim::SimTime now) const noexcept {
+    const std::int64_t ms = now.as_millis();
+    std::int64_t q = ms / period_ms_;
+    if (ms % period_ms_ < 0) --q;
+    return q;
+  }
+
+ private:
+  std::int64_t period_ms_;
+};
+
+/// A value with probe-epoch snapshot semantics.
+template <typename T>
+class Snapshotted {
+ public:
+  Snapshotted() = default;
+  explicit Snapshotted(T initial) : live_(std::move(initial)) {}
+
+  /// Applies `fn(T&)` to the live value, first saving the epoch-start
+  /// snapshot if this is the first mutation in epoch `epoch`.
+  template <typename Fn>
+  void mutate(std::int64_t epoch, Fn&& fn) {
+    if (snap_epoch_ < epoch) {
+      snap_ = live_;
+      snap_epoch_ = epoch;
+    }
+    std::forward<Fn>(fn)(live_);
+  }
+
+  /// The value as a prober reads it in epoch `epoch` (state at the epoch
+  /// boundary).
+  [[nodiscard]] const T& probed(std::int64_t epoch) const noexcept {
+    return snap_epoch_ < epoch ? live_ : snap_;
+  }
+
+  /// The ground-truth live value (what admission control checks).
+  [[nodiscard]] const T& live() const noexcept { return live_; }
+
+ private:
+  T live_{};
+  T snap_{};
+  std::int64_t snap_epoch_ = INT64_MIN;
+};
+
+}  // namespace qsa::net

@@ -1,0 +1,22 @@
+#include "qsa/overlay/chord_id.hpp"
+
+#include "qsa/util/rng.hpp"
+
+namespace qsa::overlay {
+
+ChordKey node_key(std::uint64_t seed, std::uint32_t peer) {
+  return util::mix64(util::hash_combine(seed ^ util::hash_str("chord-node"),
+                                        peer));
+}
+
+ChordKey data_key(std::uint64_t seed, std::string_view name) {
+  return util::mix64(util::hash_combine(seed ^ util::hash_str("chord-data"),
+                                        util::hash_str(name)));
+}
+
+ChordKey data_key(std::uint64_t seed, std::uint64_t id) {
+  return util::mix64(
+      util::hash_combine(seed ^ util::hash_str("chord-data"), id));
+}
+
+}  // namespace qsa::overlay

@@ -1,0 +1,38 @@
+// Chord identifier space: 64-bit keys on a ring (the paper's P2P lookup
+// substrate, Section 3.2 "Discover service instances", citing Chord).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace qsa::overlay {
+
+using ChordKey = std::uint64_t;
+
+/// Number of bits in the identifier space (finger-table size).
+inline constexpr int kKeyBits = 64;
+
+/// Hashes a peer id into the ring.
+[[nodiscard]] ChordKey node_key(std::uint64_t seed, std::uint32_t peer);
+
+/// Hashes an application key (e.g. a service name) into the ring.
+[[nodiscard]] ChordKey data_key(std::uint64_t seed, std::string_view name);
+[[nodiscard]] ChordKey data_key(std::uint64_t seed, std::uint64_t id);
+
+/// True iff x lies in the half-open ring interval (a, b] (wrapping).
+[[nodiscard]] constexpr bool in_interval_oc(ChordKey a, ChordKey b,
+                                            ChordKey x) noexcept {
+  if (a == b) return true;  // the whole ring
+  if (a < b) return a < x && x <= b;
+  return x > a || x <= b;  // wrapped
+}
+
+/// True iff x lies in the open ring interval (a, b) (wrapping).
+[[nodiscard]] constexpr bool in_interval_oo(ChordKey a, ChordKey b,
+                                            ChordKey x) noexcept {
+  if (a == b) return x != a;  // everything except the endpoint
+  if (a < b) return a < x && x < b;
+  return x > a || x < b;
+}
+
+}  // namespace qsa::overlay

@@ -1,0 +1,221 @@
+#include "qsa/overlay/chord_ring.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::overlay {
+
+ChordRing::ChordRing(std::uint64_t seed, int replicas)
+    : seed_(seed), replicas_(replicas) {
+  QSA_EXPECTS(replicas >= 1);
+}
+
+ChordRing::Ring::const_iterator ChordRing::successor(ChordKey key) const {
+  QSA_EXPECTS(!ring_.empty());
+  auto it = ring_.lower_bound(key);
+  return it == ring_.end() ? ring_.begin() : it;
+}
+
+ChordRing::Ring::iterator ChordRing::successor(ChordKey key) {
+  QSA_EXPECTS(!ring_.empty());
+  auto it = ring_.lower_bound(key);
+  return it == ring_.end() ? ring_.begin() : it;
+}
+
+bool ChordRing::contains(net::PeerId peer) const {
+  return key_of_peer_.contains(peer);
+}
+
+void ChordRing::compute_fingers(ChordKey at, Node& node) const {
+  node.fingers.resize(kKeyBits);
+  for (int i = 0; i < kKeyBits; ++i) {
+    const ChordKey target = at + (ChordKey{1} << i);  // wraps mod 2^64
+    node.fingers[static_cast<std::size_t>(i)] = successor(target)->first;
+  }
+}
+
+void ChordRing::join(net::PeerId peer) {
+  QSA_EXPECTS(!contains(peer));
+  const ChordKey key = node_key(seed_, peer);
+  QSA_EXPECTS(!ring_.contains(key));  // 64-bit collisions: astronomically rare
+  Node node;
+  node.peer = peer;
+  if (!ring_.empty()) {
+    // The new node takes over the key range (predecessor, key] from its
+    // successor.
+    auto succ = successor(key);
+    auto pred = succ == ring_.begin() ? std::prev(ring_.end()) : std::prev(succ);
+    const ChordKey pred_key = pred->first;
+    for (auto it = succ->second.store.begin();
+         it != succ->second.store.end();) {
+      if (in_interval_oc(pred_key, key, it->first)) {
+        node.store.emplace(it->first, std::move(it->second));
+        it = succ->second.store.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  auto [it, inserted] = ring_.emplace(key, std::move(node));
+  QSA_ASSERT(inserted);
+  compute_fingers(key, it->second);
+  key_of_peer_.emplace(peer, key);
+}
+
+void ChordRing::leave(net::PeerId peer) {
+  auto pit = key_of_peer_.find(peer);
+  if (pit == key_of_peer_.end()) return;
+  const ChordKey key = pit->second;
+  auto it = ring_.find(key);
+  QSA_ASSERT(it != ring_.end());
+  if (ring_.size() > 1) {
+    // Graceful handoff of the store to the successor.
+    auto next = std::next(it) == ring_.end() ? ring_.begin() : std::next(it);
+    for (auto& [k, values] : it->second.store) {
+      next->second.store[k].insert(values.begin(), values.end());
+    }
+  }
+  ring_.erase(it);
+  key_of_peer_.erase(pit);
+}
+
+void ChordRing::fail(net::PeerId peer) {
+  auto pit = key_of_peer_.find(peer);
+  if (pit == key_of_peer_.end()) return;
+  ring_.erase(pit->second);  // store vanishes; replicas keep the data alive
+  key_of_peer_.erase(pit);
+}
+
+LookupStats ChordRing::route(ChordKey key, net::PeerId from,
+                             const net::NetworkModel* net) const {
+  QSA_EXPECTS(!ring_.empty());
+  const auto fit = key_of_peer_.find(from);
+  QSA_EXPECTS(fit != key_of_peer_.end());
+
+  LookupStats stats;
+  auto cur = ring_.find(fit->second);
+  QSA_ASSERT(cur != ring_.end());
+
+  // Safety bound: greedy finger routing plus successor-walk fallback always
+  // terminates, but a bound keeps a corrupted ring from hanging a run.
+  const int max_hops = kKeyBits + static_cast<int>(ring_.size()) + 2;
+  while (stats.hops <= max_hops) {
+    auto next_on_ring =
+        std::next(cur) == ring_.end() ? ring_.begin() : std::next(cur);
+    if (cur->first == key || ring_.size() == 1) {
+      stats.owner = cur->second.peer;
+      return stats;
+    }
+    // Are we ourselves responsible? (key in (predecessor, us])
+    auto pred = cur == ring_.begin() ? std::prev(ring_.end()) : std::prev(cur);
+    if (in_interval_oc(pred->first, cur->first, key)) {
+      stats.owner = cur->second.peer;
+      return stats;
+    }
+    if (in_interval_oc(cur->first, next_on_ring->first, key)) {
+      // The key lives on our immediate successor: final hop.
+      if (net != nullptr) {
+        stats.latency +=
+            net->latency(cur->second.peer, next_on_ring->second.peer);
+      }
+      ++stats.hops;
+      stats.owner = next_on_ring->second.peer;
+      return stats;
+    }
+    // Closest preceding live finger.
+    Ring::const_iterator next = ring_.end();
+    for (int i = kKeyBits - 1; i >= 0; --i) {
+      const ChordKey f = cur->second.fingers.empty()
+                             ? cur->first
+                             : cur->second.fingers[static_cast<std::size_t>(i)];
+      if (f == cur->first) continue;
+      if (!in_interval_oo(cur->first, key, f)) continue;
+      auto fnode = ring_.find(f);
+      if (fnode == ring_.end()) continue;  // stale finger: node departed
+      next = fnode;
+      break;
+    }
+    if (next == ring_.end()) next = next_on_ring;  // successor-walk fallback
+    if (net != nullptr) {
+      stats.latency += net->latency(cur->second.peer, next->second.peer);
+    }
+    ++stats.hops;
+    cur = next;
+  }
+  // Unreachable with a consistent ring; report the oracle owner so callers
+  // still make progress.
+  stats.owner = successor(key)->second.peer;
+  return stats;
+}
+
+void ChordRing::replicate_insert(Ring::iterator owner_it, ChordKey key,
+                                 std::uint64_t value) {
+  auto it = owner_it;
+  const int copies = std::min<int>(replicas_, static_cast<int>(ring_.size()));
+  for (int i = 0; i < copies; ++i) {
+    it->second.store[key].insert(value);
+    ++it;
+    if (it == ring_.end()) it = ring_.begin();
+  }
+}
+
+void ChordRing::insert(ChordKey key, std::uint64_t value) {
+  QSA_EXPECTS(!ring_.empty());
+  replicate_insert(successor(key), key, value);
+}
+
+void ChordRing::erase(ChordKey key, std::uint64_t value) {
+  if (ring_.empty()) return;
+  // Erase from the owner and a few extra successors: replica placement may
+  // have drifted under churn. Leftover copies beyond this window are
+  // harmless (get() reads only the owner).
+  auto it = successor(key);
+  const int window =
+      std::min<int>(replicas_ + 2, static_cast<int>(ring_.size()));
+  for (int i = 0; i < window; ++i) {
+    auto sit = it->second.store.find(key);
+    if (sit != it->second.store.end()) {
+      sit->second.erase(value);
+      if (sit->second.empty()) it->second.store.erase(sit);
+    }
+    ++it;
+    if (it == ring_.end()) it = ring_.begin();
+  }
+}
+
+std::vector<std::uint64_t> ChordRing::get(ChordKey key) const {
+  if (ring_.empty()) return {};
+  const auto it = successor(key);
+  const auto sit = it->second.store.find(key);
+  if (sit == it->second.store.end()) return {};
+  return {sit->second.begin(), sit->second.end()};
+}
+
+void ChordRing::stabilize_round(double fraction) {
+  if (ring_.empty()) return;
+  QSA_EXPECTS(fraction > 0);
+  const auto count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(fraction * static_cast<double>(ring_.size()))));
+  auto it = ring_.lower_bound(stabilize_cursor_);
+  if (it == ring_.end()) it = ring_.begin();
+  for (std::size_t i = 0; i < count && i < ring_.size(); ++i) {
+    compute_fingers(it->first, it->second);
+    ++it;
+    if (it == ring_.end()) it = ring_.begin();
+  }
+  stabilize_cursor_ = it == ring_.end() ? 0 : it->first;
+}
+
+void ChordRing::stabilize_all() {
+  for (auto& [key, node] : ring_) compute_fingers(key, node);
+}
+
+net::PeerId ChordRing::owner_of(ChordKey key) const {
+  QSA_EXPECTS(!ring_.empty());
+  return successor(key)->second.peer;
+}
+
+}  // namespace qsa::overlay

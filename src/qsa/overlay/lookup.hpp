@@ -1,0 +1,59 @@
+// The P2P lookup substrate interface. Section 3.2 invokes "the P2P lookup
+// protocol, such as Chord or CAN" for service discovery; the service
+// directory programs against this interface and the grid can run on either
+// implementation (ChordRing or CanOverlay).
+//
+// Keys are opaque 64-bit identifiers (see chord_id.hpp for the hash
+// helpers); each implementation maps them into its own identifier space —
+// Chord onto a ring, CAN onto a d-dimensional torus.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qsa/net/network.hpp"
+#include "qsa/net/peer.hpp"
+#include "qsa/sim/time.hpp"
+
+namespace qsa::overlay {
+
+using Key = std::uint64_t;
+
+struct LookupStats {
+  net::PeerId owner = net::kNoPeer;  ///< peer responsible for the key
+  int hops = 0;                      ///< application-level routing hops
+  sim::SimTime latency;              ///< summed per-hop network latency
+};
+
+class LookupService {
+ public:
+  virtual ~LookupService() = default;
+
+  /// Adds a peer to the overlay.
+  virtual void join(net::PeerId peer) = 0;
+  /// Graceful departure: stored keys are handed off.
+  virtual void leave(net::PeerId peer) = 0;
+  /// Abrupt failure: the node's store vanishes (replicas may survive).
+  virtual void fail(net::PeerId peer) = 0;
+
+  [[nodiscard]] virtual bool contains(net::PeerId peer) const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Routes from `from`'s node to the owner of `key`, counting hops and
+  /// (with `net`) summing per-hop latency.
+  [[nodiscard]] virtual LookupStats route(
+      Key key, net::PeerId from, const net::NetworkModel* net = nullptr) const = 0;
+
+  virtual void insert(Key key, std::uint64_t value) = 0;
+  virtual void erase(Key key, std::uint64_t value) = 0;
+  [[nodiscard]] virtual std::vector<std::uint64_t> get(Key key) const = 0;
+
+  /// Periodic maintenance (finger refresh, neighbor-table repair, ...).
+  virtual void stabilize_round(double fraction) = 0;
+  virtual void stabilize_all() = 0;
+
+  /// Oracle owner of a key (for tests and safety fallbacks).
+  [[nodiscard]] virtual net::PeerId owner_of(Key key) const = 0;
+};
+
+}  // namespace qsa::overlay

@@ -1,0 +1,72 @@
+#include "qsa/probe/neighbor_table.hpp"
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::probe {
+
+NeighborTable::NeighborTable(std::size_t budget) : budget_(budget) {
+  QSA_EXPECTS(budget >= 1);
+}
+
+bool NeighborTable::add(net::PeerId peer, std::uint8_t hop, NeighborKind kind,
+                        sim::SimTime now, sim::SimTime ttl) {
+  QSA_EXPECTS(hop >= 1);
+  const sim::SimTime expires = now + ttl;
+  if (auto it = entries_.find(peer); it != entries_.end()) {
+    // Refresh: keep the better benefit, extend the deadline.
+    if (benefit_rank(hop, kind) < benefit_rank(it->second.hop, it->second.kind)) {
+      it->second.hop = hop;
+      it->second.kind = kind;
+    }
+    if (expires > it->second.expires) it->second.expires = expires;
+    return true;
+  }
+  if (entries_.size() >= budget_) {
+    // Evict the lowest-benefit entry, breaking ties towards the one expiring
+    // soonest — but never evict something more beneficial than the newcomer.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.expires <= now) {
+        victim = it;  // expired: free to reuse regardless of rank
+        break;
+      }
+      if (victim == entries_.end() ||
+          benefit_rank(it->second.hop, it->second.kind) >
+              benefit_rank(victim->second.hop, victim->second.kind) ||
+          (benefit_rank(it->second.hop, it->second.kind) ==
+               benefit_rank(victim->second.hop, victim->second.kind) &&
+           it->second.expires < victim->second.expires)) {
+        victim = it;
+      }
+    }
+    QSA_ASSERT(victim != entries_.end());
+    const bool victim_expired = victim->second.expires <= now;
+    if (!victim_expired &&
+        benefit_rank(victim->second.hop, victim->second.kind) <
+            benefit_rank(hop, kind)) {
+      return false;  // everything in the table beats the newcomer
+    }
+    entries_.erase(victim);
+  }
+  entries_.emplace(peer, NeighborEntry{hop, kind, expires});
+  return true;
+}
+
+bool NeighborTable::knows(net::PeerId peer, sim::SimTime now) const {
+  auto it = entries_.find(peer);
+  return it != entries_.end() && it->second.expires > now;
+}
+
+void NeighborTable::purge(sim::SimTime now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expires <= now) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NeighborTable::erase(net::PeerId peer) { entries_.erase(peer); }
+
+}  // namespace qsa::probe

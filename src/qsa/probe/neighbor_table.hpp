@@ -1,0 +1,68 @@
+// Per-peer neighbor tables (Section 2.2 + 3.3).
+//
+// A peer may probe at most M neighbors, prioritized by benefit: 1-hop direct
+// first, then 1-hop indirect, then 2-hop direct, and so on. Entries are soft
+// state with a TTL, refreshed by the resolution protocol while a service
+// path needs them. When the table is full, a new entry may evict the
+// lowest-benefit (then stalest) existing entry, but never one with higher
+// benefit than its own.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "qsa/net/peer.hpp"
+#include "qsa/sim/time.hpp"
+
+namespace qsa::probe {
+
+enum class NeighborKind : std::uint8_t { kDirect, kIndirect };
+
+struct NeighborEntry {
+  std::uint8_t hop = 1;  ///< i-hop distance along the aggregation flow
+  NeighborKind kind = NeighborKind::kDirect;
+  sim::SimTime expires;  ///< soft-state deadline
+};
+
+/// Probe priority of an entry: lower is more beneficial. Matches the paper's
+/// order 1-hop direct < 1-hop indirect < 2-hop direct < ...
+[[nodiscard]] constexpr int benefit_rank(std::uint8_t hop,
+                                         NeighborKind kind) noexcept {
+  return 2 * (hop - 1) + (kind == NeighborKind::kDirect ? 0 : 1);
+}
+
+class NeighborTable {
+ public:
+  /// `budget` is M, the maximum number of probed neighbors.
+  explicit NeighborTable(std::size_t budget);
+
+  /// Inserts or refreshes a neighbor. On refresh the entry keeps the better
+  /// (lower) benefit rank and extends its TTL. Returns false when the table
+  /// is full of entries at least as beneficial (the insert is rejected).
+  bool add(net::PeerId peer, std::uint8_t hop, NeighborKind kind,
+           sim::SimTime now, sim::SimTime ttl);
+
+  /// True iff `peer` has a non-expired entry (i.e. the owner has probed
+  /// performance information about it).
+  [[nodiscard]] bool knows(net::PeerId peer, sim::SimTime now) const;
+
+  /// Drops expired entries.
+  void purge(sim::SimTime now);
+
+  /// Removes a specific entry if present.
+  void erase(net::PeerId peer);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t budget() const noexcept { return budget_; }
+
+  [[nodiscard]] const std::unordered_map<net::PeerId, NeighborEntry>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::size_t budget_;
+  std::unordered_map<net::PeerId, NeighborEntry> entries_;
+};
+
+}  // namespace qsa::probe

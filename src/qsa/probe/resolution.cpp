@@ -1,0 +1,57 @@
+#include "qsa/probe/resolution.hpp"
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::probe {
+
+NeighborResolution::NeighborResolution(std::size_t budget, sim::SimTime ttl)
+    : budget_(budget), ttl_(ttl) {
+  QSA_EXPECTS(budget >= 1);
+  QSA_EXPECTS(ttl > sim::SimTime::zero());
+}
+
+NeighborTable& NeighborResolution::table(net::PeerId peer) {
+  auto it = tables_.find(peer);
+  if (it == tables_.end()) {
+    it = tables_.emplace(peer, NeighborTable(budget_)).first;
+  }
+  return it->second;
+}
+
+void NeighborResolution::register_path(
+    net::PeerId requester,
+    std::span<const std::vector<net::PeerId>> hop_candidates,
+    sim::SimTime now) {
+  NeighborTable& mine = table(requester);
+  for (std::size_t i = 0; i < hop_candidates.size(); ++i) {
+    const auto hop = static_cast<std::uint8_t>(i + 1);
+    for (net::PeerId candidate : hop_candidates[i]) {
+      mine.add(candidate, hop, NeighborKind::kDirect, now, ttl_);
+      ++messages_;  // the notification to this candidate
+    }
+    // Each hop-i candidate is notified about every hop-(i+1) candidate;
+    // those indirect-table updates are accounted here and materialized
+    // lazily in prepare_selection.
+    if (i + 1 < hop_candidates.size()) {
+      messages_ += hop_candidates[i].size() * hop_candidates[i + 1].size();
+    }
+  }
+}
+
+void NeighborResolution::prepare_selection(
+    net::PeerId selector, std::span<const net::PeerId> candidates,
+    std::uint8_t hop, bool direct, sim::SimTime now) {
+  NeighborTable& t = table(selector);
+  const NeighborKind kind =
+      direct ? NeighborKind::kDirect : NeighborKind::kIndirect;
+  // Relative to the selector an indirect neighbor is one hop away; the
+  // requester keeps the absolute hop index.
+  const std::uint8_t entry_hop = direct ? hop : std::uint8_t{1};
+  for (net::PeerId candidate : candidates) {
+    t.add(candidate, entry_hop, kind, now, ttl_);
+  }
+}
+
+void NeighborResolution::drop_peer(net::PeerId peer) { tables_.erase(peer); }
+
+}  // namespace qsa::probe

@@ -1,0 +1,71 @@
+// Dynamic neighbor resolution protocol (Section 3.3).
+//
+// After the service composer produces a service path, the requester's host
+// adds every hop's candidate providers to its own table as *direct* i-hop
+// neighbors, and notifies candidates so that each hop's candidates adopt the
+// next hop's candidates as *indirect* neighbors (they may be asked to pick
+// among them during hop-by-hop selection). Entries are soft state: the
+// notifications are re-sent while the path is in use, so the TTL covers the
+// session; unused entries expire.
+//
+// Simulation note: tables are materialized lazily. The requester's direct
+// entries are registered eagerly; a candidate's indirect entries are
+// registered at the moment that candidate is actually asked to select the
+// next hop (`prepare_selection`) — the table content any selector observes
+// is exactly what the protocol would have delivered, while the simulator
+// skips building tables for the (many) candidates that are never selected.
+// The full notification fan-out is still *accounted*: `messages()` counts
+// every notification the real protocol would send.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "qsa/probe/neighbor_table.hpp"
+
+namespace qsa::probe {
+
+class NeighborResolution {
+ public:
+  /// `budget` is M (max probed neighbors per peer); `ttl` the soft-state
+  /// lifetime granted by one notification.
+  NeighborResolution(std::size_t budget, sim::SimTime ttl);
+
+  /// The (lazily created) neighbor table of a peer.
+  [[nodiscard]] NeighborTable& table(net::PeerId peer);
+
+  /// Runs the protocol for a freshly composed path: `hop_candidates[i]`
+  /// holds the candidate providers of hop i+1 (hop count in the reverse
+  /// direction of the aggregation flow, as the paper defines it). Registers
+  /// the requester's direct entries and counts the indirect notifications.
+  void register_path(net::PeerId requester,
+                     std::span<const std::vector<net::PeerId>> hop_candidates,
+                     sim::SimTime now);
+
+  /// Ensures `selector`'s table reflects the notification that covered
+  /// `candidates` (the providers of the hop it must now select). `hop` is
+  /// the candidates' hop index from the requester; `direct` is true when the
+  /// selector is the requester itself.
+  void prepare_selection(net::PeerId selector,
+                         std::span<const net::PeerId> candidates,
+                         std::uint8_t hop, bool direct, sim::SimTime now);
+
+  /// Forgets a departed peer's table.
+  void drop_peer(net::PeerId peer);
+
+  /// Notification messages the protocol has sent so far (overhead metric).
+  [[nodiscard]] std::uint64_t messages() const noexcept { return messages_; }
+
+  [[nodiscard]] std::size_t budget() const noexcept { return budget_; }
+  [[nodiscard]] sim::SimTime ttl() const noexcept { return ttl_; }
+
+ private:
+  std::size_t budget_;
+  sim::SimTime ttl_;
+  std::unordered_map<net::PeerId, NeighborTable> tables_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace qsa::probe

@@ -1,0 +1,17 @@
+#include "qsa/probe/snapshot.hpp"
+
+namespace qsa::probe {
+
+PerfSnapshot probe(const net::PeerTable& peers, const net::NetworkModel& net,
+                   net::PeerId prober, net::PeerId target, sim::SimTime now) {
+  PerfSnapshot s;
+  s.alive = peers.probed_alive(target, now);
+  if (!s.alive) return s;
+  s.available = peers.probed_available(target, now);
+  s.bandwidth_kbps = net.probed_available_kbps(target, prober, now);
+  s.latency = net.latency(target, prober);
+  s.uptime = peers.probed_uptime(target, now);
+  return s;
+}
+
+}  // namespace qsa::probe

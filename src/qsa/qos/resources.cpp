@@ -1,0 +1,71 @@
+#include "qsa/qos/resources.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::qos {
+
+ResourceVector& ResourceVector::operator+=(const ResourceVector& o) {
+  QSA_EXPECTS(size() == o.size());
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] += o.v_[i];
+  return *this;
+}
+
+ResourceVector& ResourceVector::operator-=(const ResourceVector& o) {
+  QSA_EXPECTS(size() == o.size());
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] -= o.v_[i];
+  return *this;
+}
+
+ResourceVector& ResourceVector::operator*=(double k) {
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] *= k;
+  return *this;
+}
+
+bool ResourceVector::fits_within(const ResourceVector& o) const {
+  QSA_EXPECTS(size() == o.size());
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] > o.v_[i]) return false;
+  }
+  return true;
+}
+
+bool ResourceVector::nonnegative(double eps) const {
+  for (double x : v_) {
+    if (x < -eps) return false;
+  }
+  return true;
+}
+
+void ResourceVector::clamp_negative_zero(double eps) {
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] < 0 && v_[i] >= -eps) v_[i] = 0;
+  }
+}
+
+std::string ResourceVector::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ResourceVector& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ", ";
+    os << v[i];
+  }
+  return os << ']';
+}
+
+ResourceSchema ResourceSchema::paper() {
+  ResourceSchema s;
+  s.names = {"cpu", "mem"};
+  s.maxima = ResourceVector{1000.0, 1000.0};
+  s.max_bandwidth_kbps = 10'000;  // 10 Mbps
+  return s;
+}
+
+}  // namespace qsa::qos

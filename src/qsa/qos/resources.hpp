@@ -1,0 +1,101 @@
+// End-system resource vectors R = [r1,...,rm] (Section 2.1): the resources a
+// service instance consumes on its hosting peer (the paper's experiments use
+// m = 2: CPU and memory units). The same type carries a peer's availability
+// vector RA.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "qsa/util/small_vec.hpp"
+
+namespace qsa::qos {
+
+/// Maximum number of end-system resource kinds (m).
+inline constexpr std::size_t kMaxResources = 4;
+
+/// Index of a resource kind; the grid fixes the meaning (0 = CPU, 1 = memory
+/// in the paper's setup) via ResourceSchema.
+using ResourceKind = std::size_t;
+
+class ResourceVector {
+ public:
+  ResourceVector() = default;
+  ResourceVector(std::initializer_list<double> init) : v_(init) {}
+
+  /// A zero vector with `m` kinds.
+  [[nodiscard]] static ResourceVector zeros(std::size_t m) {
+    return ResourceVector(util::SmallVec<double, kMaxResources>(m, 0.0));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return v_.size(); }
+
+  [[nodiscard]] double operator[](std::size_t i) const { return v_[i]; }
+  [[nodiscard]] double& operator[](std::size_t i) { return v_[i]; }
+
+  /// Elementwise sum / difference; both operands must have equal size.
+  ResourceVector& operator+=(const ResourceVector& o);
+  ResourceVector& operator-=(const ResourceVector& o);
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) {
+    a += b;
+    return a;
+  }
+  friend ResourceVector operator-(ResourceVector a, const ResourceVector& b) {
+    a -= b;
+    return a;
+  }
+  ResourceVector& operator*=(double k);
+  friend ResourceVector operator*(ResourceVector a, double k) {
+    a *= k;
+    return a;
+  }
+
+  /// True iff every component of *this is <= the matching component of `o`
+  /// (i.e. a requirement fits inside an availability).
+  [[nodiscard]] bool fits_within(const ResourceVector& o) const;
+
+  /// True iff every component is >= -eps (reservation-ledger invariant;
+  /// the tolerance absorbs floating-point residue from interleaved
+  /// reserve/release cycles).
+  [[nodiscard]] bool nonnegative(double eps = 1e-9) const;
+
+  /// Snaps components in [-eps, 0) to exactly 0 (used after releases so
+  /// floating-point residue cannot accumulate into drift).
+  void clamp_negative_zero(double eps = 1e-9);
+
+  friend bool operator==(const ResourceVector& a, const ResourceVector& b) {
+    return a.v_ == b.v_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit ResourceVector(util::SmallVec<double, kMaxResources> v) : v_(v) {}
+  util::SmallVec<double, kMaxResources> v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const ResourceVector& v);
+
+/// Names and normalization maxima of the resource kinds in play, shared by
+/// Definition 3.1 scalarization and the peer-selection metric.
+struct ResourceSchema {
+  util::SmallVec<std::string, kMaxResources> names;  ///< e.g. {"cpu", "mem"}
+  ResourceVector maxima;                             ///< r_i^max per kind
+  double max_bandwidth_kbps = 10'000;                ///< b^max
+
+  [[nodiscard]] std::size_t kinds() const noexcept { return names.size(); }
+
+  /// The paper's experimental schema: CPU + memory, 1000 units max each,
+  /// 10 Mbps max bandwidth.
+  [[nodiscard]] static ResourceSchema paper();
+};
+
+/// A resource tuple (R_B, b_{B,A}) — the cost attached to a composition
+/// graph edge (Section 3.2).
+struct ResourceTuple {
+  ResourceVector r;
+  double bandwidth_kbps = 0;
+};
+
+}  // namespace qsa::qos

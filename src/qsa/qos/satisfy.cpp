@@ -1,0 +1,24 @@
+#include "qsa/qos/satisfy.hpp"
+
+namespace qsa::qos {
+
+std::optional<ParamId> first_violation(const QosVector& out,
+                                       const QosVector& in) noexcept {
+  // Both vectors are sorted by param id: a single merge pass suffices.
+  const auto* o = out.begin();
+  const auto* oe = out.end();
+  for (const auto& req : in) {
+    while (o != oe && o->param < req.param) ++o;
+    if (o == oe || o->param != req.param ||
+        !QosValue::satisfies(o->value, req.value)) {
+      return req.param;
+    }
+  }
+  return std::nullopt;
+}
+
+bool satisfies(const QosVector& out, const QosVector& in) noexcept {
+  return !first_violation(out, in).has_value();
+}
+
+}  // namespace qsa::qos

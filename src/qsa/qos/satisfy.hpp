@@ -1,0 +1,25 @@
+// The paper's inter-component "satisfy" relation ⊑ (equation 1):
+//
+//   Qout_A ⊑ Qin_B  iff  for every dimension i of Qin_B there exists a
+//   dimension j of Qout_A with
+//     q^out_Aj = q^in_Bi          if q^in_Bi is a single value, and
+//     q^out_Aj ⊆ q^in_Bi          if q^in_Bi is a range value.
+//
+// Dimensions are matched by parameter id. An input requirement with no
+// matching output dimension is unsatisfied.
+#pragma once
+
+#include "qsa/qos/vector.hpp"
+
+namespace qsa::qos {
+
+/// True iff `out` (a producer's Qout) satisfies `in` (a consumer's Qin).
+[[nodiscard]] bool satisfies(const QosVector& out, const QosVector& in) noexcept;
+
+/// Diagnostic variant: returns the id of the first unsatisfied input
+/// parameter, or std::nullopt when `out` satisfies `in`. Useful in error
+/// messages and tests.
+[[nodiscard]] std::optional<ParamId> first_violation(const QosVector& out,
+                                                     const QosVector& in) noexcept;
+
+}  // namespace qsa::qos

@@ -1,0 +1,50 @@
+#include "qsa/qos/tuple_compare.hpp"
+
+#include <cmath>
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::qos {
+
+TupleWeights::TupleWeights(util::SmallVec<double, kMaxResources> resource_weights,
+                           double bandwidth_weight)
+    : rw_(resource_weights), bw_(bandwidth_weight) {
+  double sum = bw_;
+  QSA_EXPECTS(bw_ >= 0);
+  for (double w : rw_) {
+    QSA_EXPECTS(w >= 0);
+    sum += w;
+  }
+  QSA_EXPECTS(std::abs(sum - 1.0) < 1e-9);
+}
+
+TupleWeights TupleWeights::uniform(std::size_t m) {
+  QSA_EXPECTS(m >= 1 && m <= kMaxResources);
+  const double w = 1.0 / static_cast<double>(m + 1);
+  util::SmallVec<double, kMaxResources> rw(m, w);
+  // Assign the remainder to bandwidth so the sum is exactly 1.
+  double sum = 0;
+  for (double x : rw) sum += x;
+  return TupleWeights(rw, 1.0 - sum);
+}
+
+double scalarize(const ResourceTuple& t, const TupleWeights& weights,
+                 const ResourceSchema& schema) {
+  QSA_EXPECTS(t.r.size() == schema.kinds());
+  QSA_EXPECTS(weights.resource().size() == schema.kinds());
+  double sigma = 0;
+  for (std::size_t i = 0; i < schema.kinds(); ++i) {
+    QSA_EXPECTS(schema.maxima[i] > 0);
+    sigma += weights.resource()[i] * t.r[i] / schema.maxima[i];
+  }
+  QSA_EXPECTS(schema.max_bandwidth_kbps > 0);
+  sigma += weights.bandwidth() * t.bandwidth_kbps / schema.max_bandwidth_kbps;
+  return sigma;
+}
+
+double compare(const ResourceTuple& a, const ResourceTuple& b,
+               const TupleWeights& weights, const ResourceSchema& schema) {
+  return scalarize(a, weights, schema) - scalarize(b, weights, schema);
+}
+
+}  // namespace qsa::qos

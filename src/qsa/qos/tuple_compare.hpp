@@ -1,0 +1,51 @@
+// Definition 3.1: comparison of resource tuples (R_B, b_{B,A}) used as edge
+// costs by the QCS composition algorithm. Two tuples compare through the
+// weighted, normalized scalar
+//
+//   sigma(R, b) = sum_i w_i * r_i / r_i^max  +  w_{m+1} * b / b^max
+//
+// with nonnegative weights summing to 1; (R,b) > (R',b') iff
+// sigma(R,b) - sigma(R',b') > 0. Because Dijkstra needs an additive cost,
+// path cost accumulates sigma per edge; minimizing the aggregate sigma is
+// the paper's "minimum aggregated resource requirements".
+#pragma once
+
+#include "qsa/qos/resources.hpp"
+#include "qsa/util/small_vec.hpp"
+
+namespace qsa::qos {
+
+/// Weights w_1..w_m for end-system resources plus w_{m+1} for bandwidth.
+class TupleWeights {
+ public:
+  /// Validates: `resource_weights.size()` == schema kinds intended by the
+  /// caller, all weights >= 0 and summing to 1 (within 1e-9).
+  TupleWeights(util::SmallVec<double, kMaxResources> resource_weights,
+               double bandwidth_weight);
+
+  /// Uniform weights across m resources + bandwidth (the paper's experiments
+  /// distribute importance weights uniformly).
+  [[nodiscard]] static TupleWeights uniform(std::size_t m);
+
+  [[nodiscard]] const util::SmallVec<double, kMaxResources>& resource() const noexcept {
+    return rw_;
+  }
+  [[nodiscard]] double bandwidth() const noexcept { return bw_; }
+
+ private:
+  util::SmallVec<double, kMaxResources> rw_;
+  double bw_;
+};
+
+/// sigma(R, b) under `weights` and `schema` normalization. Range [0, 1] for
+/// in-schema tuples.
+[[nodiscard]] double scalarize(const ResourceTuple& t, const TupleWeights& weights,
+                               const ResourceSchema& schema);
+
+/// Three-way comparison per Definition 3.1: negative if a < b, zero if
+/// equivalent, positive if a > b.
+[[nodiscard]] double compare(const ResourceTuple& a, const ResourceTuple& b,
+                             const TupleWeights& weights,
+                             const ResourceSchema& schema);
+
+}  // namespace qsa::qos

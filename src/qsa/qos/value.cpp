@@ -1,0 +1,49 @@
+#include "qsa/qos/value.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::qos {
+
+QosValue QosValue::range(double lo, double hi) noexcept {
+  QSA_EXPECTS(lo <= hi);
+  return QosValue(Kind::kRange, lo, hi, 0);
+}
+
+bool QosValue::satisfies(const QosValue& out, const QosValue& in) noexcept {
+  switch (in.kind()) {
+    case Kind::kSymbol:
+      return out.kind() == Kind::kSymbol && out.sym() == in.sym();
+    case Kind::kSingle:
+      // Exact match; a range output cannot guarantee a single value.
+      return out.kind() == Kind::kSingle && out.lo() == in.lo();
+    case Kind::kRange:
+      // Containment: the produced value(s) must fall inside the acceptance
+      // window. Symbol outputs are incomparable with numeric ranges.
+      if (out.kind() == Kind::kSymbol) return false;
+      return in.lo() <= out.lo() && out.hi() <= in.hi();
+  }
+  return false;
+}
+
+std::string QosValue::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const QosValue& v) {
+  switch (v.kind()) {
+    case QosValue::Kind::kSingle:
+      return os << v.lo();
+    case QosValue::Kind::kSymbol:
+      return os << "sym:" << v.sym();
+    case QosValue::Kind::kRange:
+      return os << '[' << v.lo() << ',' << v.hi() << ']';
+  }
+  return os;
+}
+
+}  // namespace qsa::qos

@@ -1,0 +1,77 @@
+// Application-level QoS parameter values, per the paper's service model
+// (Section 2.1). A parameter value is either
+//   * a single value — a symbolic constant such as a data format ("MPEG"),
+//     or an exact number; consistency requires equality; or
+//   * a range value — e.g. a frame-rate interval [10, 30] fps; consistency
+//     requires containment of the producer's output in the consumer's
+//     acceptable input range (eq. 1).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace qsa::qos {
+
+/// Interned id of a symbolic constant (data format, codec name, ...).
+using Symbol = std::uint32_t;
+
+class QosValue {
+ public:
+  enum class Kind : std::uint8_t { kSingle, kSymbol, kRange };
+
+  /// Exact numeric value (e.g. resolution = 480).
+  [[nodiscard]] static QosValue single(double v) noexcept {
+    return QosValue(Kind::kSingle, v, v, 0);
+  }
+  /// Symbolic constant (e.g. format = MPEG).
+  [[nodiscard]] static QosValue symbol(Symbol s) noexcept {
+    return QosValue(Kind::kSymbol, 0, 0, s);
+  }
+  /// Closed interval [lo, hi]; requires lo <= hi.
+  [[nodiscard]] static QosValue range(double lo, double hi) noexcept;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_range() const noexcept { return kind_ == Kind::kRange; }
+
+  /// Numeric value; valid for kSingle and kRange (lo()/hi() of the interval;
+  /// for kSingle both equal the value).
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  /// Symbol id; valid only for kSymbol.
+  [[nodiscard]] Symbol sym() const noexcept { return sym_; }
+
+  /// Midpoint of a range, or the single value. Used by translators to price
+  /// a quality level.
+  [[nodiscard]] double representative() const noexcept {
+    return (lo_ + hi_) / 2.0;
+  }
+
+  /// The paper's per-dimension consistency test: does producer output value
+  /// `out` satisfy consumer input requirement `in`?
+  ///   in single/symbol: out must be an equal single/symbol;
+  ///   in range:         out (single or range) must be contained in it.
+  [[nodiscard]] static bool satisfies(const QosValue& out, const QosValue& in) noexcept;
+
+  friend bool operator==(const QosValue& a, const QosValue& b) noexcept {
+    if (a.kind_ != b.kind_) return false;
+    if (a.kind_ == Kind::kSymbol) return a.sym_ == b.sym_;
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+  /// Debug rendering, e.g. "42", "sym:3", "[10,30]".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  QosValue(Kind k, double lo, double hi, Symbol s) noexcept
+      : kind_(k), sym_(s), lo_(lo), hi_(hi) {}
+
+  Kind kind_ = Kind::kSingle;
+  Symbol sym_ = 0;
+  double lo_ = 0;
+  double hi_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const QosValue& v);
+
+}  // namespace qsa::qos

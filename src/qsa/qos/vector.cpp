@@ -1,0 +1,55 @@
+#include "qsa/qos/vector.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace qsa::qos {
+
+void QosVector::set(ParamId param, const QosValue& value) {
+  auto it = std::find_if(dims_.begin(), dims_.end(),
+                         [&](const Dim& d) { return d.param >= param; });
+  if (it != dims_.end() && it->param == param) {
+    it->value = value;
+    return;
+  }
+  // Insert keeping sort order: push_back then rotate into position.
+  const std::size_t pos = static_cast<std::size_t>(it - dims_.begin());
+  dims_.push_back(Dim{param, value});
+  std::rotate(dims_.begin() + pos, dims_.end() - 1, dims_.end());
+}
+
+std::optional<QosValue> QosVector::get(ParamId param) const {
+  for (const Dim& d : dims_) {
+    if (d.param == param) return d.value;
+    if (d.param > param) break;
+  }
+  return std::nullopt;
+}
+
+bool operator==(const QosVector& a, const QosVector& b) {
+  if (a.dim() != b.dim()) return false;
+  return std::equal(a.begin(), a.end(), b.begin(),
+                    [](const QosVector::Dim& x, const QosVector::Dim& y) {
+                      return x.param == y.param && x.value == y.value;
+                    });
+}
+
+std::string QosVector::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const QosVector& v) {
+  os << '{';
+  bool first = true;
+  for (const auto& d : v) {
+    if (!first) os << ", ";
+    first = false;
+    os << 'p' << d.param << '=' << d.value;
+  }
+  return os << '}';
+}
+
+}  // namespace qsa::qos

@@ -1,0 +1,55 @@
+// QoS vectors: Qin = [q1,...,qn] / Qout = [q1,...,qn] from Section 2.1.
+// Dimensions are identified by interned parameter names ("format",
+// "frame_rate", ...), kept sorted by id for O(dim) merges in the satisfy
+// check.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "qsa/qos/value.hpp"
+#include "qsa/util/small_vec.hpp"
+
+namespace qsa::qos {
+
+/// Interned QoS parameter name id (see qsa::util::Interner).
+using ParamId = std::uint32_t;
+
+/// Maximum number of QoS dimensions a vector can carry.
+inline constexpr std::size_t kMaxQosDims = 8;
+
+class QosVector {
+ public:
+  struct Dim {
+    ParamId param = 0;
+    QosValue value = QosValue::single(0);
+  };
+
+  QosVector() = default;
+
+  /// Sets (or replaces) a dimension.
+  void set(ParamId param, const QosValue& value);
+
+  /// Value of a dimension, if present.
+  [[nodiscard]] std::optional<QosValue> get(ParamId param) const;
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dims_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return dims_.empty(); }
+
+  [[nodiscard]] const Dim* begin() const noexcept { return dims_.begin(); }
+  [[nodiscard]] const Dim* end() const noexcept { return dims_.end(); }
+
+  friend bool operator==(const QosVector& a, const QosVector& b);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  // Sorted by param id.
+  util::SmallVec<Dim, kMaxQosDims> dims_;
+};
+
+std::ostream& operator<<(std::ostream& os, const QosVector& v);
+
+}  // namespace qsa::qos

@@ -1,0 +1,74 @@
+// The service catalog: all abstract services and their instances, plus the
+// generator reproducing the paper's experimental distributions (Section 4.1:
+// 10-20 instances per service, random Qin/Qout/R).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "qsa/qos/translator.hpp"
+#include "qsa/registry/service.hpp"
+#include "qsa/util/interner.hpp"
+
+namespace qsa::registry {
+
+class ServiceCatalog {
+ public:
+  ServiceId add_service(std::string name);
+  InstanceId add_instance(ServiceInstance instance);
+
+  [[nodiscard]] const AbstractService& service(ServiceId id) const;
+  [[nodiscard]] const ServiceInstance& instance(InstanceId id) const;
+  [[nodiscard]] std::span<const InstanceId> instances_of(ServiceId id) const;
+
+  /// Resolves a service by name (as the abstract-path parser needs).
+  [[nodiscard]] std::optional<ServiceId> find(std::string_view name) const;
+
+  [[nodiscard]] std::size_t service_count() const noexcept {
+    return services_.size();
+  }
+  [[nodiscard]] std::size_t instance_count() const noexcept {
+    return instances_.size();
+  }
+
+ private:
+  std::vector<AbstractService> services_;
+  std::vector<ServiceInstance> instances_;
+  std::vector<std::vector<InstanceId>> by_service_;
+  std::unordered_map<std::string, ServiceId> by_name_;
+};
+
+/// Well-known QoS parameter names used by the generated universe.
+struct QosUniverse {
+  qos::ParamId format;  ///< single-value (symbolic) dimension
+  qos::ParamId level;   ///< range dimension in [0, 100]
+
+  /// Interns the parameter names into `interner`.
+  [[nodiscard]] static QosUniverse standard(util::Interner& interner);
+};
+
+/// Knobs for catalog generation, defaulted to the paper's setup.
+struct CatalogParams {
+  std::uint64_t seed = 1;
+  int min_instances_per_service = 10;  ///< paper: 10
+  int max_instances_per_service = 20;  ///< paper: 20
+  int formats = 4;                     ///< symbolic format universe size
+  /// Probability an instance accepts any input format (omits the format
+  /// dimension from Qin). Keeps layered paths plentiful, mirroring services
+  /// that handle several codecs.
+  double any_format_prob = 0.4;
+  double min_in_width = 40, max_in_width = 70;  ///< input acceptance widths
+  double min_out_width = 5, max_out_width = 15; ///< output widths
+};
+
+/// Generates instances for `service`, using `translator` for R and b.
+/// `is_source` instances have empty Qin (data sources accept no input).
+void generate_instances(ServiceCatalog& catalog, ServiceId service,
+                        const CatalogParams& params, const QosUniverse& qos,
+                        const qos::QosTranslator& translator, bool is_source);
+
+}  // namespace qsa::registry

@@ -1,0 +1,41 @@
+#include "qsa/registry/directory.hpp"
+
+#include "qsa/overlay/chord_id.hpp"
+
+namespace qsa::registry {
+
+ServiceDirectory::ServiceDirectory(std::uint64_t seed,
+                                   overlay::LookupService& ring,
+                                   const ServiceCatalog& catalog)
+    : seed_(seed), ring_(ring), catalog_(catalog) {}
+
+overlay::Key ServiceDirectory::key_of(ServiceId service) const {
+  return overlay::data_key(seed_, static_cast<std::uint64_t>(service));
+}
+
+void ServiceDirectory::publish(InstanceId instance) {
+  ring_.insert(key_of(catalog_.instance(instance).service), instance);
+}
+
+void ServiceDirectory::publish_all() {
+  for (InstanceId i = 0; i < catalog_.instance_count(); ++i) publish(i);
+}
+
+void ServiceDirectory::unpublish(InstanceId instance) {
+  ring_.erase(key_of(catalog_.instance(instance).service), instance);
+}
+
+Discovery ServiceDirectory::discover(ServiceId service, net::PeerId from,
+                                     const net::NetworkModel* net) const {
+  Discovery d;
+  const overlay::ChordKey key = key_of(service);
+  const overlay::LookupStats stats = ring_.route(key, from, net);
+  d.hops = stats.hops;
+  d.latency = stats.latency;
+  for (std::uint64_t v : ring_.get(key)) {
+    d.instances.push_back(static_cast<InstanceId>(v));
+  }
+  return d;
+}
+
+}  // namespace qsa::registry

@@ -1,0 +1,56 @@
+// The DHT-backed service directory: the "Discover service instances" step of
+// Section 3.2. Service instances are published into the Chord ring under
+// their abstract service's key; a requesting peer discovers the candidate
+// instances for each service on its abstract path via Chord lookups (paying
+// routing hops/latency), then reads each candidate's QoS specification from
+// the catalog and its provider list from the placement map — in the real
+// system both travel in the lookup response.
+//
+// Registrations are soft state: under churn, overlay nodes vanish with part
+// of the key space and a periodic republish (re-inserting every instance)
+// heals the directory, as P2P registries do. The directory programs against
+// the LookupService interface, so it runs unchanged on Chord or CAN.
+#pragma once
+
+#include <vector>
+
+#include "qsa/overlay/lookup.hpp"
+#include "qsa/registry/catalog.hpp"
+#include "qsa/registry/placement.hpp"
+
+namespace qsa::registry {
+
+struct Discovery {
+  std::vector<InstanceId> instances;  ///< candidates found for the service
+  int hops = 0;                       ///< Chord routing hops paid
+  sim::SimTime latency;               ///< summed lookup latency
+};
+
+class ServiceDirectory {
+ public:
+  ServiceDirectory(std::uint64_t seed, overlay::LookupService& ring,
+                   const ServiceCatalog& catalog);
+
+  /// Publishes one instance under its service key.
+  void publish(InstanceId instance);
+
+  /// Publishes every catalog instance (bootstrap and periodic republish).
+  void publish_all();
+
+  /// Removes one instance's registration.
+  void unpublish(InstanceId instance);
+
+  /// Chord lookup of the candidate instances for `service`, routed from
+  /// `from`. `net` (optional) prices per-hop latency.
+  [[nodiscard]] Discovery discover(ServiceId service, net::PeerId from,
+                                   const net::NetworkModel* net = nullptr) const;
+
+ private:
+  [[nodiscard]] overlay::Key key_of(ServiceId service) const;
+
+  std::uint64_t seed_;
+  overlay::LookupService& ring_;
+  const ServiceCatalog& catalog_;
+};
+
+}  // namespace qsa::registry

@@ -1,0 +1,61 @@
+#include "qsa/registry/placement.hpp"
+
+#include <algorithm>
+
+namespace qsa::registry {
+namespace {
+
+template <typename T>
+bool swap_remove(std::vector<T>& v, const T& value) {
+  auto it = std::find(v.begin(), v.end(), value);
+  if (it == v.end()) return false;
+  *it = v.back();
+  v.pop_back();
+  return true;
+}
+
+}  // namespace
+
+void PlacementMap::add_provider(InstanceId instance, net::PeerId peer) {
+  auto& providers = by_instance_[instance];
+  if (std::find(providers.begin(), providers.end(), peer) != providers.end()) {
+    return;
+  }
+  providers.push_back(peer);
+  by_peer_[peer].push_back(instance);
+}
+
+void PlacementMap::remove_provider(InstanceId instance, net::PeerId peer) {
+  auto it = by_instance_.find(instance);
+  if (it == by_instance_.end() || !swap_remove(it->second, peer)) return;
+  if (auto pit = by_peer_.find(peer); pit != by_peer_.end()) {
+    swap_remove(pit->second, instance);
+  }
+}
+
+std::vector<InstanceId> PlacementMap::remove_peer(net::PeerId peer) {
+  auto pit = by_peer_.find(peer);
+  if (pit == by_peer_.end()) return {};
+  std::vector<InstanceId> provided = std::move(pit->second);
+  by_peer_.erase(pit);
+  for (InstanceId instance : provided) {
+    if (auto it = by_instance_.find(instance); it != by_instance_.end()) {
+      swap_remove(it->second, peer);
+    }
+  }
+  return provided;
+}
+
+std::span<const net::PeerId> PlacementMap::providers(InstanceId instance) const {
+  auto it = by_instance_.find(instance);
+  if (it == by_instance_.end()) return {};
+  return it->second;
+}
+
+std::span<const InstanceId> PlacementMap::provided_by(net::PeerId peer) const {
+  auto it = by_peer_.find(peer);
+  if (it == by_peer_.end()) return {};
+  return it->second;
+}
+
+}  // namespace qsa::registry

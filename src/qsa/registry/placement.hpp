@@ -1,0 +1,47 @@
+// Instance placement: which peers host a copy of which service instance
+// (the paper's redundancy property: 40-80 peers per instance). Ground truth
+// for "candidate peers"; bidirectionally indexed so churn can remove a
+// departing peer's registrations in O(copies).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "qsa/net/peer.hpp"
+#include "qsa/registry/service.hpp"
+
+namespace qsa::registry {
+
+class PlacementMap {
+ public:
+  /// Registers `peer` as a provider of `instance`. No-op if already
+  /// registered.
+  void add_provider(InstanceId instance, net::PeerId peer);
+
+  /// Unregisters one provider. No-op if absent.
+  void remove_provider(InstanceId instance, net::PeerId peer);
+
+  /// Unregisters a departing peer from everything it provided. Returns the
+  /// instances it had been providing.
+  std::vector<InstanceId> remove_peer(net::PeerId peer);
+
+  /// Current providers of an instance (unspecified order, stable between
+  /// mutations).
+  [[nodiscard]] std::span<const net::PeerId> providers(InstanceId instance) const;
+
+  /// Instances provided by a peer.
+  [[nodiscard]] std::span<const InstanceId> provided_by(net::PeerId peer) const;
+
+  [[nodiscard]] std::size_t provider_count(InstanceId instance) const {
+    return providers(instance).size();
+  }
+
+ private:
+  // instance -> providers and peer -> instances; each erase is a swap-remove
+  // (order is not meaningful).
+  std::unordered_map<InstanceId, std::vector<net::PeerId>> by_instance_;
+  std::unordered_map<net::PeerId, std::vector<InstanceId>> by_peer_;
+};
+
+}  // namespace qsa::registry

@@ -1,0 +1,3 @@
+// AbstractService / ServiceInstance are plain data aggregates; this TU
+// compiles the header standalone.
+#include "qsa/registry/service.hpp"

@@ -1,0 +1,36 @@
+// Application services and service instances (Section 2.3).
+//
+// An *abstract service* names a function ("video transcoder"); a *service
+// instance* is a concrete implementation with its own QoS specification
+// (Qin, Qout), end-system resource requirement R = f(Qin, Qout), and output
+// bandwidth requirement b. The same instance may be replicated on many peers
+// (the placement map tracks that).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "qsa/qos/resources.hpp"
+#include "qsa/qos/vector.hpp"
+
+namespace qsa::registry {
+
+using ServiceId = std::uint32_t;
+using InstanceId = std::uint32_t;
+inline constexpr InstanceId kNoInstance = ~InstanceId{0};
+
+struct AbstractService {
+  ServiceId id = 0;
+  std::string name;
+};
+
+struct ServiceInstance {
+  InstanceId id = 0;
+  ServiceId service = 0;
+  qos::QosVector qin;   ///< acceptable input QoS
+  qos::QosVector qout;  ///< produced output QoS
+  qos::ResourceVector resources;  ///< end-system requirement R
+  double bandwidth_kbps = 0;      ///< requirement b on the output edge
+};
+
+}  // namespace qsa::registry

@@ -1,0 +1,170 @@
+#include "qsa/registry/spec.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace qsa::registry {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Splits on a separator string, trimming each piece.
+std::vector<std::string_view> split(std::string_view text,
+                                    std::string_view sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(trim(text.substr(start)));
+      break;
+    }
+    out.push_back(trim(text.substr(start, pos - start)));
+    start = pos + sep.size();
+  }
+  return out;
+}
+
+/// Splits a requirement list on ';' or ','— but not commas inside [...].
+std::vector<std::string_view> split_clauses(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  int bracket_depth = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    const bool at_end = i == text.size();
+    const char c = at_end ? ';' : text[i];
+    if (c == '[') ++bracket_depth;
+    if (c == ']') --bracket_depth;
+    if ((c == ';' || (c == ',' && bracket_depth == 0)) || at_end) {
+      const auto piece = trim(text.substr(start, i - start));
+      if (!piece.empty()) out.push_back(piece);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool parse_number(std::string_view s, double& out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool valid_name(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '.' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ParseResult<std::vector<ServiceId>> parse_abstract_path(
+    std::string_view text, const ServiceCatalog& catalog) {
+  ParseResult<std::vector<ServiceId>> result;
+  const auto names = split(text, "->");
+  if (names.size() == 1 && names[0].empty()) {
+    result.error = "empty abstract path";
+    return result;
+  }
+  for (const auto name : names) {
+    if (!valid_name(name)) {
+      result.error = "malformed service name '" + std::string(name) + "'";
+      return result;
+    }
+    const auto id = catalog.find(name);
+    if (!id) {
+      result.error = "unknown service '" + std::string(name) + "'";
+      return result;
+    }
+    result.value.push_back(*id);
+  }
+  return result;
+}
+
+ParseResult<qos::QosVector> parse_requirement(std::string_view text,
+                                              util::Interner& params,
+                                              util::Interner& symbols) {
+  ParseResult<qos::QosVector> result;
+  for (const auto clause : split_clauses(text)) {
+    // "name in [lo, hi]" — check before '=' so a '=' inside names can't
+    // confuse it ('in' is not a valid name character sequence boundary
+    // otherwise).
+    const std::size_t in_pos = clause.find(" in ");
+    const std::size_t eq_pos = clause.find('=');
+    if (in_pos != std::string_view::npos &&
+        (eq_pos == std::string_view::npos || in_pos < eq_pos)) {
+      const auto name = trim(clause.substr(0, in_pos));
+      auto rest = trim(clause.substr(in_pos + 4));
+      if (!valid_name(name)) {
+        result.error = "malformed parameter name '" + std::string(name) + "'";
+        return result;
+      }
+      if (rest.size() < 2 || rest.front() != '[' || rest.back() != ']') {
+        result.error = "expected range '[lo, hi]' in '" + std::string(clause) +
+                       "'";
+        return result;
+      }
+      rest = rest.substr(1, rest.size() - 2);
+      const auto bounds = split(rest, ",");
+      double lo = 0, hi = 0;
+      if (bounds.size() != 2 || !parse_number(bounds[0], lo) ||
+          !parse_number(bounds[1], hi) || lo > hi) {
+        result.error = "malformed range in '" + std::string(clause) + "'";
+        return result;
+      }
+      result.value.set(params.intern(name), qos::QosValue::range(lo, hi));
+      continue;
+    }
+    if (eq_pos != std::string_view::npos) {
+      const auto name = trim(clause.substr(0, eq_pos));
+      const auto value = trim(clause.substr(eq_pos + 1));
+      if (!valid_name(name)) {
+        result.error = "malformed parameter name '" + std::string(name) + "'";
+        return result;
+      }
+      double number = 0;
+      if (parse_number(value, number)) {
+        result.value.set(params.intern(name), qos::QosValue::single(number));
+      } else if (valid_name(value)) {
+        result.value.set(params.intern(name),
+                         qos::QosValue::symbol(symbols.intern(value)));
+      } else {
+        result.error = "malformed value '" + std::string(value) + "'";
+        return result;
+      }
+      continue;
+    }
+    result.error = "expected '=' or 'in' in clause '" + std::string(clause) +
+                   "'";
+    return result;
+  }
+  return result;
+}
+
+std::string format_abstract_path(std::span<const ServiceId> path,
+                                 const ServiceCatalog& catalog) {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i) out += " -> ";
+    out += catalog.service(path[i]).name;
+  }
+  return out;
+}
+
+}  // namespace qsa::registry

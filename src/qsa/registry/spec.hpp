@@ -1,0 +1,57 @@
+// Textual request specifications — the front end the paper's "acquire and
+// translate the user request" step assumes (Section 3.2): the user either
+// names a distributed application or "directly define[s] the abstract
+// service path (e.g., video server -> Chinese2English translator -> image
+// enhancement -> video player)", plus application-specific QoS
+// requirements.
+//
+// Grammar (whitespace-insensitive):
+//
+//   path        := service ( "->" service )*          // source .. sink
+//   service     := [A-Za-z0-9_.-]+                    // catalog name
+//
+//   requirement := clause ( (";" | ",") clause )*
+//   clause      := name "=" value                     // exact match
+//                | name "in" "[" number "," number "]" // range
+//   value       := number | symbol-name
+//
+// Examples:
+//   "video-server -> transcoder -> video-player"
+//   "level in [70, 100]; format = MPEG"
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qsa/qos/vector.hpp"
+#include "qsa/registry/catalog.hpp"
+#include "qsa/util/interner.hpp"
+
+namespace qsa::registry {
+
+/// Parse outcome: `ok()` or an error message pointing at the offender.
+template <typename T>
+struct ParseResult {
+  T value{};
+  std::string error;
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+/// Parses "a -> b -> c" into catalog service ids (source first, sink last).
+/// Unknown service names are reported, not guessed.
+[[nodiscard]] ParseResult<std::vector<ServiceId>> parse_abstract_path(
+    std::string_view text, const ServiceCatalog& catalog);
+
+/// Parses a requirement list into a QoS vector. Parameter names are interned
+/// in `params`; non-numeric values are interned as symbols in `symbols`
+/// (both must be the interners the catalog's QoS universe uses).
+[[nodiscard]] ParseResult<qos::QosVector> parse_requirement(
+    std::string_view text, util::Interner& params, util::Interner& symbols);
+
+/// Renders a path back to its textual form ("a -> b -> c").
+[[nodiscard]] std::string format_abstract_path(
+    std::span<const ServiceId> path, const ServiceCatalog& catalog);
+
+}  // namespace qsa::registry

@@ -1,0 +1,226 @@
+#include "qsa/session/manager.hpp"
+
+#include <algorithm>
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::session {
+namespace {
+
+/// Participants of a session: hosts plus requester, deduplicated.
+std::vector<net::PeerId> participants_of(const Session& s) {
+  std::vector<net::PeerId> participants = s.hosts;
+  participants.push_back(s.requester);
+  std::sort(participants.begin(), participants.end());
+  participants.erase(std::unique(participants.begin(), participants.end()),
+                     participants.end());
+  return participants;
+}
+
+}  // namespace
+
+SessionManager::SessionManager(sim::Simulator& simulator,
+                               net::PeerTable& peers, net::NetworkModel& net,
+                               const registry::ServiceCatalog& catalog)
+    : simulator_(simulator), peers_(peers), net_(net), catalog_(catalog) {}
+
+void SessionManager::index(const Session& s) {
+  for (net::PeerId p : participants_of(s)) by_peer_[p].push_back(s.id);
+}
+
+void SessionManager::unindex(const Session& s) {
+  for (net::PeerId p : participants_of(s)) {
+    if (auto bit = by_peer_.find(p); bit != by_peer_.end()) {
+      auto& v = bit->second;
+      if (auto vit = std::find(v.begin(), v.end(), s.id); vit != v.end()) {
+        *vit = v.back();
+        v.pop_back();
+      }
+      if (v.empty()) by_peer_.erase(bit);
+    }
+  }
+}
+
+core::FailureCause SessionManager::start_session(
+    const core::ServiceRequest& request, const core::AggregationPlan& plan,
+    net::PeerId* blamed) {
+  QSA_EXPECTS(plan.ok());
+  QSA_EXPECTS(plan.instances.size() == plan.hosts.size());
+  QSA_EXPECTS(!plan.instances.empty());
+
+  const sim::SimTime now = simulator_.now();
+  Session s;
+  s.id = next_id_++;
+  s.requester = request.requester;
+  s.instances = plan.instances;
+  s.hosts = plan.hosts;
+  s.start = now;
+  s.end = now + request.session_duration;
+
+  // All-or-nothing admission: reserve host resources, then link bandwidth,
+  // rolling everything back on the first shortage.
+  bool ok = true;
+  for (std::size_t i = 0; i < plan.instances.size() && ok; ++i) {
+    const auto& inst = catalog_.instance(plan.instances[i]);
+    if (peers_.try_reserve(plan.hosts[i], inst.resources, now)) {
+      s.host_reservations.push_back(
+          HostReservation{plan.hosts[i], inst.resources});
+    } else {
+      ok = false;
+      if (blamed != nullptr) *blamed = plan.hosts[i];
+    }
+  }
+  // Aggregation-flow edges: producer i feeds consumer i+1; the sink (last
+  // instance) feeds the requester's host.
+  for (std::size_t i = 0; i < plan.instances.size() && ok; ++i) {
+    const auto& inst = catalog_.instance(plan.instances[i]);
+    const net::PeerId from = plan.hosts[i];
+    const net::PeerId to = i + 1 < plan.hosts.size() ? plan.hosts[i + 1]
+                                                     : request.requester;
+    if (net_.try_reserve(from, to, inst.bandwidth_kbps, now)) {
+      s.link_reservations.push_back(
+          LinkReservation{from, to, inst.bandwidth_kbps});
+    } else {
+      ok = false;
+      if (blamed != nullptr) *blamed = from;
+    }
+  }
+  if (!ok) {
+    release_all(s);
+    ++stats_.rejected;
+    return core::FailureCause::kAdmission;
+  }
+
+  index(s);
+  const SessionId id = s.id;
+  s.end_event = simulator_.schedule_at(
+      s.end, [this, id] { finish_session(id, core::FailureCause::kNone); });
+  sessions_.emplace(id, std::move(s));
+  ++stats_.admitted;
+  return core::FailureCause::kNone;
+}
+
+void SessionManager::release_all(Session& s) {
+  const sim::SimTime now = simulator_.now();
+  for (const auto& hr : s.host_reservations) {
+    peers_.release(hr.peer, hr.resources, now);  // no-op on departed peers
+  }
+  for (const auto& lr : s.link_reservations) {
+    net_.release(lr.from, lr.to, lr.kbps, now);
+  }
+  s.host_reservations.clear();
+  s.link_reservations.clear();
+}
+
+void SessionManager::finish_session(SessionId id, core::FailureCause cause) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  Session s = std::move(it->second);
+  sessions_.erase(it);
+
+  simulator_.cancel(s.end_event);
+  release_all(s);
+  unindex(s);
+
+  if (cause == core::FailureCause::kNone) {
+    ++stats_.completed;
+  } else {
+    ++stats_.aborted;
+  }
+  if (outcome_) outcome_(s, cause);
+}
+
+bool SessionManager::try_recover(SessionId id, net::PeerId failed) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  Session& s = it->second;
+  if (s.requester == failed) return false;  // nothing to deliver to
+
+  // Propose a replacement for every path position the failed peer held.
+  std::vector<net::PeerId> new_hosts = s.hosts;
+  for (std::size_t i = 0; i < new_hosts.size(); ++i) {
+    if (new_hosts[i] != failed) continue;
+    if (!recovery_) return false;
+    const net::PeerId replacement = recovery_(s, i, failed);
+    if (replacement == net::kNoPeer || replacement == failed ||
+        !peers_.alive(replacement)) {
+      return false;
+    }
+    new_hosts[i] = replacement;
+  }
+
+  const sim::SimTime now = simulator_.now();
+
+  // Migrate host reservations: reserve on the replacements first; only then
+  // drop the old entries (the failed peer's ledger died with it).
+  std::vector<HostReservation> added;
+  bool ok = true;
+  for (std::size_t i = 0; i < new_hosts.size() && ok; ++i) {
+    if (s.hosts[i] == new_hosts[i]) continue;
+    const auto& inst = catalog_.instance(s.instances[i]);
+    if (peers_.try_reserve(new_hosts[i], inst.resources, now)) {
+      added.push_back(HostReservation{new_hosts[i], inst.resources});
+    } else {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    for (const auto& hr : added) peers_.release(hr.peer, hr.resources, now);
+    return false;
+  }
+
+  // Rebuild the edge reservations wholesale: the failed hop invalidates its
+  // adjacent edges, and a wholesale swap keeps the bookkeeping simple and
+  // exact. Old edges are released first so a link shared by old and new
+  // paths is not double-counted against its capacity.
+  for (const auto& lr : s.link_reservations) {
+    net_.release(lr.from, lr.to, lr.kbps, now);
+  }
+  s.link_reservations.clear();
+  std::vector<LinkReservation> new_links;
+  for (std::size_t i = 0; i < new_hosts.size() && ok; ++i) {
+    const auto& inst = catalog_.instance(s.instances[i]);
+    const net::PeerId from = new_hosts[i];
+    const net::PeerId to =
+        i + 1 < new_hosts.size() ? new_hosts[i + 1] : s.requester;
+    if (net_.try_reserve(from, to, inst.bandwidth_kbps, now)) {
+      new_links.push_back(LinkReservation{from, to, inst.bandwidth_kbps});
+    } else {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    for (const auto& lr : new_links) net_.release(lr.from, lr.to, lr.kbps, now);
+    for (const auto& hr : added) peers_.release(hr.peer, hr.resources, now);
+    // The session is beyond repair: the caller aborts it. Its remaining
+    // host reservations are still recorded and released by finish_session.
+    return false;
+  }
+
+  // Commit: swap hosts, fix the reservation records and the peer index.
+  unindex(s);
+  s.hosts = new_hosts;
+  // Drop host-reservation records held on the failed peer; keep the rest
+  // and append the new ones.
+  std::erase_if(s.host_reservations, [&](const HostReservation& hr) {
+    return hr.peer == failed;
+  });
+  for (const auto& hr : added) s.host_reservations.push_back(hr);
+  s.link_reservations = std::move(new_links);
+  index(s);
+  ++stats_.recovered;
+  return true;
+}
+
+void SessionManager::peer_departed(net::PeerId peer) {
+  auto it = by_peer_.find(peer);
+  if (it == by_peer_.end()) return;
+  // finish_session / try_recover mutate by_peer_, so snapshot first.
+  const std::vector<SessionId> affected = it->second;
+  for (SessionId id : affected) {
+    if (recovery_ && try_recover(id, peer)) continue;
+    finish_session(id, core::FailureCause::kDeparture);
+  }
+}
+
+}  // namespace qsa::session

@@ -1,0 +1,108 @@
+// The session manager: admission control and session lifetime.
+//
+// Admission reserves, all-or-nothing with rollback, the end-system resources
+// R of every chosen instance on its host and the bandwidth b of every edge
+// of the aggregation flow (source host -> ... -> sink host -> requester).
+// Under reservation semantics the paper's success criterion — "all service
+// instances' resource requirements are always satisfied ... during the
+// entire application session" — reduces to: admission succeeded and no
+// participating peer (including the requester) departed before the session
+// ended.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "qsa/core/aggregate.hpp"
+#include "qsa/net/network.hpp"
+#include "qsa/net/peer.hpp"
+#include "qsa/registry/catalog.hpp"
+#include "qsa/session/session.hpp"
+#include "qsa/sim/simulator.hpp"
+
+namespace qsa::session {
+
+struct SessionStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;   ///< admission (reservation) failures
+  std::uint64_t completed = 0;  ///< ran to their scheduled end
+  std::uint64_t aborted = 0;    ///< killed by a provisioning peer departure
+  std::uint64_t recovered = 0;  ///< survived a departure via recovery
+};
+
+class SessionManager {
+ public:
+  /// Invoked when an admitted session finishes: cause kNone on completion,
+  /// kDeparture on churn abort.
+  using OutcomeCallback =
+      std::function<void(const Session&, core::FailureCause)>;
+
+  /// Runtime failure recovery (the paper's future-work extension): given a
+  /// session that just lost `failed`, proposes a replacement host for the
+  /// instance at path position `position`, or kNoPeer to give up. Invoked
+  /// once per affected position.
+  using RecoveryFn = std::function<net::PeerId(
+      const Session&, std::size_t position, net::PeerId failed)>;
+
+  SessionManager(sim::Simulator& simulator, net::PeerTable& peers,
+                 net::NetworkModel& net,
+                 const registry::ServiceCatalog& catalog);
+
+  void set_outcome_callback(OutcomeCallback cb) { outcome_ = std::move(cb); }
+
+  /// Enables mid-session departure recovery. Without it (the paper's
+  /// baseline behaviour) any participant departure aborts the session.
+  void set_recovery(RecoveryFn fn) { recovery_ = std::move(fn); }
+
+  /// Attempts to admit `plan` for `request`. On success the session runs
+  /// until now + session_duration (its end event is scheduled) and kNone is
+  /// returned; otherwise kAdmission, with every partial reservation rolled
+  /// back. On rejection, `blamed` (when given) names the host whose
+  /// reservation fell short — for host shortages the host itself, for link
+  /// shortages the producer endpoint — so callers can retry selection
+  /// excluding it.
+  core::FailureCause start_session(const core::ServiceRequest& request,
+                                   const core::AggregationPlan& plan,
+                                   net::PeerId* blamed = nullptr);
+
+  /// Aborts every active session that `peer` participates in (as host or
+  /// requester). Call when churn removes a peer, before or after
+  /// PeerTable::remove_peer.
+  void peer_departed(net::PeerId peer);
+
+  [[nodiscard]] std::size_t active_sessions() const noexcept {
+    return sessions_.size();
+  }
+  /// Id of the most recently admitted session (0 if none yet). Valid right
+  /// after a successful start_session.
+  [[nodiscard]] SessionId last_session_id() const noexcept {
+    return next_id_ - 1;
+  }
+  [[nodiscard]] const SessionStats& stats() const noexcept { return stats_; }
+
+ private:
+  void finish_session(SessionId id, core::FailureCause cause);
+  void release_all(Session& s);
+  /// Attempts to keep session `id` alive after `failed` departed. Returns
+  /// true when the session was repaired (hosts swapped, reservations
+  /// migrated); false means the caller must abort it.
+  bool try_recover(SessionId id, net::PeerId failed);
+  void unindex(const Session& s);
+  void index(const Session& s);
+
+  sim::Simulator& simulator_;
+  net::PeerTable& peers_;
+  net::NetworkModel& net_;
+  const registry::ServiceCatalog& catalog_;
+  OutcomeCallback outcome_;
+  RecoveryFn recovery_;
+
+  std::unordered_map<SessionId, Session> sessions_;
+  std::unordered_map<net::PeerId, std::vector<SessionId>> by_peer_;
+  SessionId next_id_ = 1;
+  SessionStats stats_;
+};
+
+}  // namespace qsa::session

@@ -1,0 +1,3 @@
+// Session is a plain data aggregate; see manager.cpp for the lifecycle
+// logic. This TU compiles the header standalone.
+#include "qsa/session/session.hpp"

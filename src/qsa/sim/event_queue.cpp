@@ -1,0 +1,55 @@
+#include "qsa/sim/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::sim {
+
+EventHandle EventQueue::schedule(SimTime at, Action action) {
+  QSA_EXPECTS(action != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Item{at, seq, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  live_seqs_.insert(seq);
+  ++live_;
+  return EventHandle(seq);
+}
+
+void EventQueue::cancel(EventHandle h) {
+  if (!h.valid()) return;
+  // Only a still-pending event can be cancelled; fired or already-cancelled
+  // handles are no-ops.
+  if (live_seqs_.erase(h.seq_) == 0) return;
+  cancelled_.insert(h.seq_);
+  --live_;
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  skim();
+  return heap_.empty() ? SimTime::infinity() : heap_.front().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skim();
+  QSA_EXPECTS(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Item item = std::move(heap_.back());
+  heap_.pop_back();
+  live_seqs_.erase(item.seq);
+  --live_;
+  return Fired{item.time, std::move(item.action)};
+}
+
+}  // namespace qsa::sim

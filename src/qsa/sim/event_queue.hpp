@@ -1,0 +1,77 @@
+// Pending-event set for the discrete-event simulator: a binary heap keyed by
+// (time, sequence number) so that equal-time events fire in schedule order —
+// a requirement for deterministic replays. Cancellation is lazy: a cancelled
+// event stays in the heap but is skipped when it surfaces (departed peers
+// cancel their pending timers this way).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "qsa/sim/time.hpp"
+
+namespace qsa::sim {
+
+/// Handle for cancelling a scheduled event. Default-constructed handles are
+/// inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  [[nodiscard]] bool valid() const noexcept { return seq_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::uint64_t seq) noexcept : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `at`. Returns a handle usable with
+  /// cancel().
+  EventHandle schedule(SimTime at, Action action);
+
+  /// Marks an event as cancelled; a no-op for inert or already-fired handles.
+  void cancel(EventHandle h);
+
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  /// Number of live (not cancelled, not fired) events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+  /// Earliest live event time; SimTime::infinity() when empty.
+  [[nodiscard]] SimTime next_time();
+
+  struct Fired {
+    SimTime time;
+    Action action;
+  };
+  /// Pops and returns the earliest live event. Requires !empty().
+  Fired pop();
+
+ private:
+  struct Item {
+    SimTime time;
+    std::uint64_t seq = 0;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+    }
+  };
+
+  /// Removes cancelled items from the top of the heap.
+  void skim();
+
+  std::vector<Item> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> live_seqs_;
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace qsa::sim

@@ -1,0 +1,35 @@
+#include "qsa/sim/simulator.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace qsa::sim {
+
+std::size_t Simulator::run_until(SimTime horizon) {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    if (queue_.next_time() > horizon) break;
+    auto [time, action] = queue_.pop();
+    now_ = time;
+    action();
+    ++count;
+    ++executed_;
+  }
+  if (horizon != SimTime::infinity() && now_ < horizon) now_ = horizon;
+  return count;
+}
+
+void Simulator::every(SimTime start, SimTime period,
+                      std::function<void()> action) {
+  // Self-rescheduling tick. A shared_ptr closure keeps the action alive
+  // across reschedules; periodic ticks run for the life of the simulation.
+  auto tick = std::make_shared<std::function<void()>>();
+  auto shared_action = std::make_shared<std::function<void()>>(std::move(action));
+  *tick = [this, period, tick, shared_action] {
+    (*shared_action)();
+    schedule_in(period, *tick);
+  };
+  schedule_at(start, *tick);
+}
+
+}  // namespace qsa::sim

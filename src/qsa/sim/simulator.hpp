@@ -1,0 +1,54 @@
+// The discrete-event simulation driver: owns the clock and the event queue,
+// advances time event-by-event until a horizon or until drained.
+#pragma once
+
+#include <functional>
+
+#include "qsa/sim/event_queue.hpp"
+#include "qsa/sim/time.hpp"
+
+namespace qsa::sim {
+
+class Simulator {
+ public:
+  /// Current simulated time. Monotonically non-decreasing.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `action` `delay` after now.
+  EventHandle schedule_in(SimTime delay, EventQueue::Action action) {
+    return queue_.schedule(now_ + delay, std::move(action));
+  }
+
+  /// Schedules `action` at absolute time `at` (clamped to now if earlier).
+  EventHandle schedule_at(SimTime at, EventQueue::Action action) {
+    return queue_.schedule(at < now_ ? now_ : at, std::move(action));
+  }
+
+  void cancel(EventHandle h) { queue_.cancel(h); }
+
+  /// Runs events until the queue drains or the next event is past `horizon`.
+  /// The clock finishes at min(horizon, last event time). Returns the number
+  /// of events executed.
+  std::size_t run_until(SimTime horizon);
+
+  /// Runs until the queue is fully drained.
+  std::size_t run() { return run_until(SimTime::infinity()); }
+
+  /// Registers a periodic action firing at start, start+period, ... until
+  /// the horizon of the enclosing run. The action may observe now().
+  void every(SimTime start, SimTime period, std::function<void()> action);
+
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] std::size_t executed_events() const noexcept {
+    return executed_;
+  }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  std::size_t executed_ = 0;
+};
+
+}  // namespace qsa::sim

@@ -1,0 +1,34 @@
+// Lightweight contract checks in the spirit of the C++ Core Guidelines GSL
+// `Expects`/`Ensures`. Violations are programming errors, so they abort with a
+// message instead of throwing: a simulation that continues past a broken
+// invariant produces silently wrong science.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qsa::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "qsa: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace qsa::util
+
+#define QSA_EXPECTS(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::qsa::util::contract_failure("precondition", #cond, __FILE__, \
+                                          __LINE__))
+
+#define QSA_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::qsa::util::contract_failure("postcondition", #cond, __FILE__, \
+                                          __LINE__))
+
+#define QSA_ASSERT(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::qsa::util::contract_failure("invariant", #cond, __FILE__, \
+                                          __LINE__))

@@ -1,0 +1,90 @@
+#include "qsa/util/flags.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace qsa::util {
+namespace {
+
+std::string env_name(std::string_view flag) {
+  std::string out = "QSA_";
+  for (char c : flag) {
+    out.push_back(c == '-' ? '_'
+                           : static_cast<char>(std::toupper(
+                                 static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.starts_with("--")) {
+      arg.remove_prefix(2);
+      if (auto eq = arg.find('='); eq != std::string_view::npos) {
+        kv_.emplace_back(std::string(arg.substr(0, eq)),
+                         std::string(arg.substr(eq + 1)));
+      } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+        kv_.emplace_back(std::string(arg), std::string(argv[++i]));
+      } else {
+        kv_.emplace_back(std::string(arg), "true");
+      }
+    } else {
+      positional_.emplace_back(arg);
+    }
+  }
+}
+
+std::optional<std::string> Flags::raw(std::string_view name) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == name) return v;
+  }
+  if (const char* env = std::getenv(env_name(name).c_str())) {
+    return std::string(env);
+  }
+  return std::nullopt;
+}
+
+std::string Flags::get(std::string_view name, std::string_view def) const {
+  auto v = raw(name);
+  return v ? *v : std::string(def);
+}
+
+std::int64_t Flags::get_int(std::string_view name, std::int64_t def) const {
+  auto v = raw(name);
+  if (!v) return def;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Flags::get_double(std::string_view name, double def) const {
+  auto v = raw(name);
+  if (!v) return def;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Flags::get_bool(std::string_view name, bool def) const {
+  auto v = raw(name);
+  if (!v) return def;
+  return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+std::vector<double> parse_double_list(std::string_view text) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string_view::npos) comma = text.size();
+    std::string item(text.substr(start, comma - start));
+    if (!item.empty()) out.push_back(std::strtod(item.c_str(), nullptr));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace qsa::util

@@ -1,0 +1,45 @@
+// Minimal command-line / environment flag parsing for the bench and example
+// binaries: `--name=value` or `--name value` arguments, falling back to a
+// `QSA_NAME` environment variable, falling back to a default.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qsa::util {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  /// Raw string lookup: CLI first, then env var QSA_<NAME-upper>, else none.
+  [[nodiscard]] std::optional<std::string> raw(std::string_view name) const;
+
+  [[nodiscard]] std::string get(std::string_view name,
+                                std::string_view def) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(std::string_view name, double def) const;
+  [[nodiscard]] bool get_bool(std::string_view name, bool def) const;
+
+  /// Positional (non --flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// True if --help was passed.
+  [[nodiscard]] bool help() const { return help_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+  std::vector<std::string> positional_;
+  bool help_ = false;
+};
+
+/// Parses a comma-separated list of doubles, e.g. "50,100,200".
+[[nodiscard]] std::vector<double> parse_double_list(std::string_view text);
+
+}  // namespace qsa::util

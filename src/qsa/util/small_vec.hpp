@@ -1,0 +1,87 @@
+// A fixed-capacity inline vector for small hot-path value types (resource
+// vectors, QoS dimensions). Elements live inside the object, so a
+// ResourceVector copy is a couple of cache lines and never allocates —
+// the composition/selection inner loops copy these heavily.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::util {
+
+template <typename T, std::size_t N>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  constexpr SmallVec() = default;
+
+  constexpr SmallVec(std::initializer_list<T> init) {
+    QSA_EXPECTS(init.size() <= N);
+    for (const T& v : init) items_[size_++] = v;
+  }
+
+  constexpr SmallVec(std::size_t count, const T& value) {
+    QSA_EXPECTS(count <= N);
+    for (std::size_t i = 0; i < count; ++i) items_[i] = value;
+    size_ = count;
+  }
+
+  static constexpr std::size_t capacity() noexcept { return N; }
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+
+  constexpr void push_back(const T& v) {
+    QSA_EXPECTS(size_ < N);
+    items_[size_++] = v;
+  }
+
+  constexpr void pop_back() {
+    QSA_EXPECTS(size_ > 0);
+    --size_;
+  }
+
+  constexpr void clear() noexcept { size_ = 0; }
+
+  constexpr void resize(std::size_t n, const T& fill = T{}) {
+    QSA_EXPECTS(n <= N);
+    for (std::size_t i = size_; i < n; ++i) items_[i] = fill;
+    size_ = n;
+  }
+
+  constexpr T& operator[](std::size_t i) {
+    QSA_EXPECTS(i < size_);
+    return items_[i];
+  }
+  constexpr const T& operator[](std::size_t i) const {
+    QSA_EXPECTS(i < size_);
+    return items_[i];
+  }
+
+  constexpr T& back() { return (*this)[size_ - 1]; }
+  constexpr const T& back() const { return (*this)[size_ - 1]; }
+  constexpr T& front() { return (*this)[0]; }
+  constexpr const T& front() const { return (*this)[0]; }
+
+  constexpr iterator begin() noexcept { return items_.data(); }
+  constexpr iterator end() noexcept { return items_.data() + size_; }
+  constexpr const_iterator begin() const noexcept { return items_.data(); }
+  constexpr const_iterator end() const noexcept { return items_.data() + size_; }
+
+  friend constexpr bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::array<T, N> items_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace qsa::util

@@ -1,0 +1,54 @@
+// Fixed-size thread pool used by the experiment harness to run independent
+// simulation cells (sweep point x algorithm x replication) concurrently.
+//
+// Individual simulations are single-threaded and deterministic; parallelism
+// lives only at this embarrassingly-parallel outer level, so results are
+// bit-identical for any thread count (results are stored by cell index, never
+// by completion order).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qsa::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task. Must not be called after wait() has begun draining on
+  /// another thread unless externally synchronized.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Exceptions escaping fn terminate (simulation tasks must not throw).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace qsa::util

@@ -1,0 +1,224 @@
+// Algorithm-level properties: every plan an aggregation algorithm accepts
+// must actually be valid — QoS-consistent instances in abstract-path order,
+// hosted on registered providers. Swept across QSA, random, and fixed on a
+// live grid.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "qsa/harness/grid.hpp"
+#include "qsa/qos/satisfy.hpp"
+#include "qsa/util/rng.hpp"
+#include "qsa/workload/apps.hpp"
+
+namespace qsa::harness {
+namespace {
+
+GridConfig algo_config(AlgorithmKind kind) {
+  GridConfig c;
+  c.seed = 77;
+  c.peers = 250;
+  c.min_providers = 12;
+  c.max_providers = 24;
+  c.apps.applications = 6;
+  c.algorithm = kind;
+  return c;
+}
+
+class PlanValidity : public ::testing::TestWithParam<AlgorithmKind> {};
+
+TEST_P(PlanValidity, AcceptedPlansAreWellFormed) {
+  GridSimulation grid(algo_config(GetParam()));
+  util::Rng rng(3);
+  int accepted = 0;
+  for (int i = 0; i < 120; ++i) {
+    const auto& app = grid.apps().apps()[rng.index(grid.apps().apps().size())];
+    core::ServiceRequest req;
+    req.requester = grid.peers().alive_ids()[rng.index(grid.peers().alive_count())];
+    req.abstract_path = app.path;
+    req.requirement = workload::requirement_for(
+        static_cast<workload::QosLevel>(rng.index(3)), grid.universe());
+    req.session_duration = sim::SimTime::minutes(rng.uniform(1, 60));
+
+    const auto plan = grid.submit_request(req);
+    if (!plan.ok()) {
+      EXPECT_TRUE(plan.instances.empty() || plan.hosts.empty());
+      continue;
+    }
+    ++accepted;
+    ASSERT_EQ(plan.instances.size(), app.path.size());
+    ASSERT_EQ(plan.hosts.size(), app.path.size());
+    for (std::size_t l = 0; l < plan.instances.size(); ++l) {
+      const auto& inst = grid.catalog().instance(plan.instances[l]);
+      // Instance implements the l-th abstract service.
+      EXPECT_EQ(inst.service, app.path[l]);
+      // Host is a registered provider of the instance.
+      const auto providers = grid.placement().providers(plan.instances[l]);
+      EXPECT_TRUE(std::find(providers.begin(), providers.end(),
+                            plan.hosts[l]) != providers.end());
+      // QoS consistency along the chain (eq. 1).
+      if (l + 1 < plan.instances.size()) {
+        EXPECT_TRUE(qos::satisfies(
+            inst.qout, grid.catalog().instance(plan.instances[l + 1]).qin));
+      } else {
+        EXPECT_TRUE(qos::satisfies(inst.qout, req.requirement));
+      }
+    }
+    EXPECT_GT(plan.composition_cost, 0.0);
+  }
+  EXPECT_GT(accepted, 60);  // the grid is healthy, most requests plan fine
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, PlanValidity,
+                         ::testing::Values(AlgorithmKind::kQsa,
+                                           AlgorithmKind::kRandom,
+                                           AlgorithmKind::kFixed),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(FixedAlgorithm, IdenticalRequestsGetIdenticalPlans) {
+  GridSimulation grid(algo_config(AlgorithmKind::kFixed));
+  const auto& app = grid.apps().apps()[0];
+  core::ServiceRequest req;
+  req.requester = grid.peers().alive_ids()[0];
+  req.abstract_path = app.path;
+  req.requirement =
+      workload::requirement_for(workload::QosLevel::kLow, grid.universe());
+  req.session_duration = sim::SimTime::minutes(5);
+  const auto a = grid.submit_request(req);
+  const auto b = grid.submit_request(req);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.instances, b.instances);
+  EXPECT_EQ(a.hosts, b.hosts);  // dedicated servers
+}
+
+TEST(RandomAlgorithm, SpreadsHostsAcrossProviders) {
+  GridSimulation grid(algo_config(AlgorithmKind::kRandom));
+  const auto& app = grid.apps().apps()[0];
+  core::ServiceRequest req;
+  req.requester = grid.peers().alive_ids()[0];
+  req.abstract_path = app.path;
+  req.requirement =
+      workload::requirement_for(workload::QosLevel::kLow, grid.universe());
+  req.session_duration = sim::SimTime::minutes(5);
+  std::map<net::PeerId, int> sink_hosts;
+  for (int i = 0; i < 60; ++i) {
+    const auto plan = grid.submit_request(req);
+    ASSERT_TRUE(plan.ok());
+    ++sink_hosts[plan.hosts.back()];
+  }
+  EXPECT_GT(sink_hosts.size(), 4u);
+}
+
+TEST(QsaAlgorithm, ComposesCheaperPathsThanRandom) {
+  GridSimulation qsa_grid(algo_config(AlgorithmKind::kQsa));
+  GridSimulation rnd_grid(algo_config(AlgorithmKind::kRandom));
+  util::Rng rng(5);
+  double qsa_cost = 0, rnd_cost = 0;
+  int n = 0;
+  for (int i = 0; i < 60; ++i) {
+    const auto& app =
+        qsa_grid.apps().apps()[rng.index(qsa_grid.apps().apps().size())];
+    core::ServiceRequest req;
+    req.requester = qsa_grid.peers().alive_ids()[0];
+    req.abstract_path = app.path;
+    req.requirement =
+        workload::requirement_for(workload::QosLevel::kLow, qsa_grid.universe());
+    req.session_duration = sim::SimTime::minutes(5);
+    const auto a = qsa_grid.submit_request(req);
+    const auto b = rnd_grid.submit_request(req);
+    if (a.ok() && b.ok()) {
+      qsa_cost += a.composition_cost;
+      rnd_cost += b.composition_cost;
+      // Per request, QCS can never be more expensive.
+      EXPECT_LE(a.composition_cost, b.composition_cost + 1e-9);
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 30);
+  EXPECT_LT(qsa_cost, rnd_cost);
+}
+
+TEST(QsaAlgorithm, HonorsExcludedHosts) {
+  GridSimulation grid(algo_config(AlgorithmKind::kQsa));
+  const auto& app = grid.apps().apps()[0];
+  core::ServiceRequest req;
+  req.requester = grid.peers().alive_ids()[0];
+  req.abstract_path = app.path;
+  req.requirement =
+      workload::requirement_for(workload::QosLevel::kLow, grid.universe());
+  req.session_duration = sim::SimTime::minutes(5);
+  const auto first = grid.submit_request(req);
+  ASSERT_TRUE(first.ok());
+  // Exclude every host the first plan chose; the second plan must avoid
+  // them all.
+  req.excluded_hosts = first.hosts;
+  const auto second = grid.submit_request(req);
+  ASSERT_TRUE(second.ok());
+  for (const auto h : second.hosts) {
+    EXPECT_TRUE(std::find(first.hosts.begin(), first.hosts.end(), h) ==
+                first.hosts.end());
+  }
+}
+
+TEST(QsaAlgorithm, SelectionFailsWhenEverythingExcluded) {
+  GridSimulation grid(algo_config(AlgorithmKind::kQsa));
+  const auto& app = grid.apps().apps()[0];
+  core::ServiceRequest req;
+  req.requester = grid.peers().alive_ids()[0];
+  req.abstract_path = app.path;
+  req.requirement =
+      workload::requirement_for(workload::QosLevel::kLow, grid.universe());
+  req.session_duration = sim::SimTime::minutes(5);
+  // Exclude every provider of every instance of the first service.
+  for (const auto inst : grid.catalog().instances_of(app.path[0])) {
+    const auto providers = grid.placement().providers(inst);
+    req.excluded_hosts.insert(req.excluded_hosts.end(), providers.begin(),
+                              providers.end());
+  }
+  const auto plan = grid.submit_request(req);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.failure, core::FailureCause::kSelection);
+}
+
+TEST(QsaAlgorithm, SelectionFailsGracefullyWithNoProviders) {
+  GridSimulation grid(algo_config(AlgorithmKind::kQsa));
+  const auto& app = grid.apps().apps()[0];
+  // Strip every provider of one service's instances.
+  for (const auto inst : grid.catalog().instances_of(app.path[0])) {
+    const auto providers = grid.placement().providers(inst);
+    const std::vector<net::PeerId> copy(providers.begin(), providers.end());
+    for (const auto p : copy) grid.placement().remove_provider(inst, p);
+  }
+  core::ServiceRequest req;
+  req.requester = grid.peers().alive_ids()[0];
+  req.abstract_path = app.path;
+  req.requirement =
+      workload::requirement_for(workload::QosLevel::kLow, grid.universe());
+  req.session_duration = sim::SimTime::minutes(5);
+  const auto plan = grid.submit_request(req);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.failure, core::FailureCause::kSelection);
+}
+
+TEST(QsaAlgorithm, DiscoveryFailureWhenDirectoryEmpty) {
+  auto cfg = algo_config(AlgorithmKind::kQsa);
+  GridSimulation grid(cfg);
+  core::ServiceRequest req;
+  req.requester = grid.peers().alive_ids()[0];
+  // A service id that exists but was never published cannot be discovered —
+  // simulate by asking for a fresh service with no instances.
+  const auto ghost = grid.catalog().add_service("ghost");
+  req.abstract_path = {ghost};
+  req.requirement =
+      workload::requirement_for(workload::QosLevel::kLow, grid.universe());
+  req.session_duration = sim::SimTime::minutes(5);
+  const auto plan = grid.submit_request(req);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.failure, core::FailureCause::kDiscovery);
+}
+
+}  // namespace
+}  // namespace qsa::harness

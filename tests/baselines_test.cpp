@@ -1,0 +1,186 @@
+// Baseline composers (random / first) and baseline aggregation algorithms.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "qsa/core/baselines.hpp"
+#include "qsa/qos/satisfy.hpp"
+#include "qsa/util/rng.hpp"
+
+namespace qsa::core {
+namespace {
+
+using registry::InstanceId;
+using registry::ServiceCatalog;
+using registry::ServiceId;
+
+constexpr qos::ParamId kLevel = 0;
+
+InstanceId add_inst(ServiceCatalog& cat, ServiceId svc, double ilo, double ihi,
+                    double olo, double ohi, double cpu) {
+  registry::ServiceInstance inst;
+  inst.service = svc;
+  if (ihi >= ilo) inst.qin.set(kLevel, qos::QosValue::range(ilo, ihi));
+  inst.qout.set(kLevel, qos::QosValue::range(olo, ohi));
+  inst.resources = qos::ResourceVector{cpu, cpu};
+  inst.bandwidth_kbps = 100;
+  return cat.add_instance(inst);
+}
+
+QcsComposer make_composer(const ServiceCatalog& cat) {
+  return QcsComposer(cat, qos::TupleWeights::uniform(2),
+                     qos::ResourceSchema::paper());
+}
+
+qos::QosVector requirement(double lo, double hi) {
+  qos::QosVector req;
+  req.set(kLevel, qos::QosValue::range(lo, hi));
+  return req;
+}
+
+struct TwoLayer {
+  ServiceCatalog cat;
+  CompositionRequest req;
+  // Both chains are consistent: (srcA -> sinkA) and (srcB -> sinkB);
+  // srcA->sinkB and srcB->sinkA are NOT consistent.
+  InstanceId srcA, srcB, sinkA, sinkB;
+
+  TwoLayer() {
+    const auto src = cat.add_service("src");
+    const auto sink = cat.add_service("sink");
+    srcA = add_inst(cat, src, 1, 0, 20, 25, 10);
+    srcB = add_inst(cat, src, 1, 0, 50, 55, 400);
+    sinkA = add_inst(cat, sink, 18, 30, 70, 80, 10);
+    sinkB = add_inst(cat, sink, 45, 60, 70, 80, 10);
+    req.candidates = {{srcA, srcB}, {sinkA, sinkB}};
+    req.requirement = requirement(60, 100);
+  }
+};
+
+TEST(ComposeFirst, Deterministic) {
+  TwoLayer t;
+  auto composer = make_composer(t.cat);
+  const auto r1 = compose_first(composer, t.req);
+  const auto r2 = compose_first(composer, t.req);
+  ASSERT_TRUE(r1.success);
+  EXPECT_EQ(r1.instances, r2.instances);
+}
+
+TEST(ComposeFirst, PathIsConsistent) {
+  TwoLayer t;
+  auto composer = make_composer(t.cat);
+  const auto r = compose_first(composer, t.req);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(qos::satisfies(t.cat.instance(r.instances[0]).qout,
+                             t.cat.instance(r.instances[1]).qin));
+  EXPECT_TRUE(qos::satisfies(t.cat.instance(r.instances[1]).qout,
+                             t.req.requirement));
+}
+
+TEST(ComposeFirst, FailsWhenInfeasible) {
+  TwoLayer t;
+  t.req.requirement = requirement(90, 95);  // no sink outputs inside [90,95]
+  auto composer = make_composer(t.cat);
+  EXPECT_FALSE(compose_first(composer, t.req).success);
+}
+
+TEST(ComposeRandom, AlwaysReturnsConsistentPath) {
+  TwoLayer t;
+  auto composer = make_composer(t.cat);
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto r = compose_random(composer, t.req, rng);
+    ASSERT_TRUE(r.success);
+    // Only the two matched chains are consistent.
+    const bool chainA = r.instances == std::vector<InstanceId>{t.srcA, t.sinkA};
+    const bool chainB = r.instances == std::vector<InstanceId>{t.srcB, t.sinkB};
+    EXPECT_TRUE(chainA || chainB);
+  }
+}
+
+TEST(ComposeRandom, ExploresDifferentPaths) {
+  TwoLayer t;
+  auto composer = make_composer(t.cat);
+  util::Rng rng(6);
+  std::set<InstanceId> seen_sources;
+  for (int i = 0; i < 100; ++i) {
+    const auto r = compose_random(composer, t.req, rng);
+    ASSERT_TRUE(r.success);
+    seen_sources.insert(r.instances[0]);
+  }
+  // Unlike QCS (always the cheap chain) random picks both over 100 tries.
+  EXPECT_EQ(seen_sources.size(), 2u);
+}
+
+TEST(ComposeRandom, IgnoresCost) {
+  // QCS must always choose the cheap chain; random must sometimes pick the
+  // expensive one (cost-blindness is its defining property).
+  TwoLayer t;
+  auto composer = make_composer(t.cat);
+  const auto qcs = composer.compose(t.req);
+  ASSERT_TRUE(qcs.success);
+  EXPECT_EQ(qcs.instances, (std::vector<InstanceId>{t.srcA, t.sinkA}));
+
+  util::Rng rng(7);
+  int expensive = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto r = compose_random(composer, t.req, rng);
+    expensive += r.instances[0] == t.srcB;
+  }
+  EXPECT_GT(expensive, 20);
+  EXPECT_LT(expensive, 180);
+}
+
+TEST(ComposeRandom, BacktracksThroughDeadEnds) {
+  // Layer structure where a naive greedy pick dead-ends: the sink accepts
+  // only srcB's output, but sinkTrap (tried first when shuffled) accepts
+  // nothing upstream.
+  ServiceCatalog cat;
+  const auto src = cat.add_service("src");
+  const auto mid = cat.add_service("mid");
+  const auto sink = cat.add_service("sink");
+  const auto srcA = add_inst(cat, src, 1, 0, 10, 12, 10);
+  // mid accepts src output, emits 30..32.
+  const auto midA = add_inst(cat, mid, 5, 20, 30, 32, 10);
+  // trap mid: consistent with the sink but nothing feeds it.
+  const auto midTrap = add_inst(cat, mid, 90, 95, 30, 32, 10);
+  const auto sinkA = add_inst(cat, sink, 25, 40, 70, 80, 10);
+  CompositionRequest req;
+  req.candidates = {{srcA}, {midA, midTrap}, {sinkA}};
+  req.requirement = requirement(60, 100);
+
+  auto composer = make_composer(cat);
+  util::Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const auto r = compose_random(composer, req, rng);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.instances, (std::vector<InstanceId>{srcA, midA, sinkA}));
+  }
+}
+
+TEST(ComposeRandom, CostReportedWithQcsScalarization) {
+  TwoLayer t;
+  auto composer = make_composer(t.cat);
+  util::Rng rng(9);
+  const auto r = compose_random(composer, t.req, rng);
+  ASSERT_TRUE(r.success);
+  double expected = 0;
+  for (InstanceId id : r.instances) expected += composer.instance_cost(id);
+  EXPECT_NEAR(r.cost, expected, 1e-12);
+}
+
+TEST(ComposeDfs, EmptyLayersFail) {
+  ServiceCatalog cat;
+  auto composer = make_composer(cat);
+  util::Rng rng(10);
+  CompositionRequest req;
+  EXPECT_FALSE(compose_random(composer, req, rng).success);
+  EXPECT_FALSE(compose_first(composer, req).success);
+  req.candidates = {{}};
+  req.requirement = requirement(0, 100);
+  EXPECT_FALSE(compose_random(composer, req, rng).success);
+}
+
+}  // namespace
+}  // namespace qsa::core

@@ -1,0 +1,284 @@
+// QCS composition: correctness on hand-built catalogs plus brute-force
+// optimality property sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "qsa/core/compose.hpp"
+#include "qsa/qos/satisfy.hpp"
+#include "qsa/util/rng.hpp"
+
+namespace qsa::core {
+namespace {
+
+using registry::InstanceId;
+using registry::ServiceCatalog;
+using registry::ServiceId;
+
+constexpr qos::ParamId kLevel = 0;
+constexpr qos::ParamId kFormat = 1;
+
+/// Builds an instance producing level range [olo, ohi] and accepting
+/// [ilo, ihi] (empty acceptance for sources), with given CPU cost.
+InstanceId add_inst(ServiceCatalog& cat, ServiceId svc, double ilo, double ihi,
+                    double olo, double ohi, double cpu, double bw = 100) {
+  registry::ServiceInstance inst;
+  inst.service = svc;
+  if (ihi >= ilo) {  // negative span marks "source: no input"
+    inst.qin.set(kLevel, qos::QosValue::range(ilo, ihi));
+  }
+  inst.qout.set(kLevel, qos::QosValue::range(olo, ohi));
+  inst.resources = qos::ResourceVector{cpu, cpu};
+  inst.bandwidth_kbps = bw;
+  return cat.add_instance(inst);
+}
+
+QcsComposer make_composer(const ServiceCatalog& cat) {
+  return QcsComposer(cat, qos::TupleWeights::uniform(2),
+                     qos::ResourceSchema::paper());
+}
+
+qos::QosVector requirement(double lo, double hi) {
+  qos::QosVector req;
+  req.set(kLevel, qos::QosValue::range(lo, hi));
+  return req;
+}
+
+TEST(QcsComposer, SingleServicePathPicksCheapestSatisfying) {
+  ServiceCatalog cat;
+  const auto svc = cat.add_service("s");
+  const auto expensive = add_inst(cat, svc, 1, 0, 50, 60, 400);
+  const auto cheap = add_inst(cat, svc, 1, 0, 50, 60, 100);
+  const auto unsatisfying = add_inst(cat, svc, 1, 0, 10, 20, 10);
+  auto composer = make_composer(cat);
+  const auto result = composer.compose(
+      CompositionRequest{{{expensive, cheap, unsatisfying}}, requirement(40, 100)});
+  ASSERT_TRUE(result.success);
+  ASSERT_EQ(result.instances.size(), 1u);
+  EXPECT_EQ(result.instances[0], cheap);
+}
+
+TEST(QcsComposer, FailsWhenNoInstanceSatisfiesUser) {
+  ServiceCatalog cat;
+  const auto svc = cat.add_service("s");
+  const auto a = add_inst(cat, svc, 1, 0, 10, 20, 10);
+  auto composer = make_composer(cat);
+  const auto result =
+      composer.compose(CompositionRequest{{{a}}, requirement(40, 100)});
+  EXPECT_FALSE(result.success);
+  EXPECT_TRUE(result.instances.empty());
+}
+
+TEST(QcsComposer, TwoLayerConsistencyEnforced) {
+  ServiceCatalog cat;
+  const auto src = cat.add_service("src");
+  const auto sink = cat.add_service("sink");
+  // Source outputs level [50,55]; only sink B accepts it.
+  const auto s0 = add_inst(cat, src, 1, 0, 50, 55, 10);
+  const auto sinkA = add_inst(cat, sink, 60, 90, 70, 80, 10);  // rejects
+  const auto sinkB = add_inst(cat, sink, 40, 70, 70, 80, 200);  // accepts
+  auto composer = make_composer(cat);
+  const auto result = composer.compose(
+      CompositionRequest{{{s0}, {sinkA, sinkB}}, requirement(60, 100)});
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.instances, (std::vector<InstanceId>{s0, sinkB}));
+}
+
+TEST(QcsComposer, PrefersCheaperAggregateAcrossLayers) {
+  ServiceCatalog cat;
+  const auto src = cat.add_service("src");
+  const auto sink = cat.add_service("sink");
+  // Two fully compatible chains; the globally cheaper pair must win even
+  // though the cheapest sink pairs with the expensive source.
+  const auto srcCheap = add_inst(cat, src, 1, 0, 50, 52, 20);
+  const auto srcDear = add_inst(cat, src, 1, 0, 60, 62, 300);
+  // sinkX only accepts the expensive source's output; cheap instance.
+  const auto sinkX = add_inst(cat, sink, 58, 64, 70, 80, 10);
+  // sinkY accepts the cheap source's output; moderate cost.
+  const auto sinkY = add_inst(cat, sink, 48, 56, 70, 80, 60);
+  auto composer = make_composer(cat);
+  const auto result = composer.compose(CompositionRequest{
+      {{srcCheap, srcDear}, {sinkX, sinkY}}, requirement(60, 100)});
+  ASSERT_TRUE(result.success);
+  // 20 + 60 = 80 beats 300 + 10 = 310.
+  EXPECT_EQ(result.instances, (std::vector<InstanceId>{srcCheap, sinkY}));
+}
+
+TEST(QcsComposer, NoConsistentChainFails) {
+  ServiceCatalog cat;
+  const auto src = cat.add_service("src");
+  const auto sink = cat.add_service("sink");
+  const auto s0 = add_inst(cat, src, 1, 0, 10, 20, 10);
+  const auto k0 = add_inst(cat, sink, 50, 90, 70, 80, 10);
+  auto composer = make_composer(cat);
+  const auto result = composer.compose(
+      CompositionRequest{{{s0}, {k0}}, requirement(60, 100)});
+  EXPECT_FALSE(result.success);
+}
+
+TEST(QcsComposer, EmptyLayerFails) {
+  ServiceCatalog cat;
+  const auto src = cat.add_service("src");
+  const auto s0 = add_inst(cat, src, 1, 0, 50, 55, 10);
+  auto composer = make_composer(cat);
+  EXPECT_FALSE(
+      composer.compose(CompositionRequest{{{s0}, {}}, requirement(0, 100)})
+          .success);
+  EXPECT_FALSE(
+      composer.compose(CompositionRequest{{}, requirement(0, 100)}).success);
+}
+
+TEST(QcsComposer, FormatDimensionParticipates) {
+  ServiceCatalog cat;
+  const auto src = cat.add_service("src");
+  const auto sink = cat.add_service("sink");
+  registry::ServiceInstance s;
+  s.service = src;
+  s.qout.set(kLevel, qos::QosValue::range(50, 55));
+  s.qout.set(kFormat, qos::QosValue::symbol(2));
+  s.resources = qos::ResourceVector{10, 10};
+  s.bandwidth_kbps = 100;
+  const auto s0 = cat.add_instance(s);
+
+  auto make_sink = [&](qos::Symbol accepted) {
+    registry::ServiceInstance k;
+    k.service = sink;
+    k.qin.set(kLevel, qos::QosValue::range(40, 60));
+    k.qin.set(kFormat, qos::QosValue::symbol(accepted));
+    k.qout.set(kLevel, qos::QosValue::range(70, 80));
+    k.resources = qos::ResourceVector{10, 10};
+    k.bandwidth_kbps = 100;
+    return cat.add_instance(k);
+  };
+  const auto wrong_format = make_sink(1);
+  const auto right_format = make_sink(2);
+
+  auto composer = make_composer(cat);
+  const auto result = composer.compose(CompositionRequest{
+      {{s0}, {wrong_format, right_format}}, requirement(60, 100)});
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.instances[1], right_format);
+}
+
+TEST(QcsComposer, CostMatchesInstanceCostSum) {
+  ServiceCatalog cat;
+  const auto src = cat.add_service("src");
+  const auto sink = cat.add_service("sink");
+  const auto s0 = add_inst(cat, src, 1, 0, 50, 55, 30, 200);
+  const auto k0 = add_inst(cat, sink, 40, 60, 70, 80, 70, 400);
+  auto composer = make_composer(cat);
+  const auto result = composer.compose(
+      CompositionRequest{{{s0}, {k0}}, requirement(60, 100)});
+  ASSERT_TRUE(result.success);
+  EXPECT_NEAR(result.cost,
+              composer.instance_cost(s0) + composer.instance_cost(k0), 1e-12);
+}
+
+TEST(QcsComposer, WorkCountersPopulated) {
+  ServiceCatalog cat;
+  const auto src = cat.add_service("src");
+  const auto sink = cat.add_service("sink");
+  std::vector<InstanceId> srcs, sinks;
+  for (int i = 0; i < 5; ++i) srcs.push_back(add_inst(cat, src, 1, 0, 50, 55, 10));
+  for (int i = 0; i < 7; ++i) sinks.push_back(add_inst(cat, sink, 40, 60, 70, 80, 10));
+  auto composer = make_composer(cat);
+  const auto result =
+      composer.compose(CompositionRequest{{srcs, sinks}, requirement(0, 100)});
+  EXPECT_EQ(result.nodes, 12u);
+  // 7 sink-vs-user checks + 5*7 producer/consumer pairs.
+  EXPECT_EQ(result.edges_examined, 7u + 35u);
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: on random layered catalogs QCS (a) returns a path iff
+// brute-force enumeration finds one, (b) the path is QoS-consistent, and
+// (c) its cost equals the brute-force minimum.
+
+struct BruteForce {
+  const ServiceCatalog& cat;
+  const QcsComposer& composer;
+  const CompositionRequest& req;
+  double best = std::numeric_limits<double>::infinity();
+
+  void search(std::size_t layer_from_sink, const qos::QosVector* downstream,
+              double cost_so_far) {
+    const std::size_t layers = req.candidates.size();
+    const std::size_t layer = layers - 1 - layer_from_sink;
+    for (InstanceId id : req.candidates[layer]) {
+      const auto& inst = cat.instance(id);
+      const bool ok = layer_from_sink == 0
+                          ? qos::satisfies(inst.qout, req.requirement)
+                          : qos::satisfies(inst.qout, *downstream);
+      if (!ok) continue;
+      const double cost = cost_so_far + composer.instance_cost(id);
+      if (layer == 0) {
+        best = std::min(best, cost);
+      } else {
+        search(layer_from_sink + 1, &inst.qin, cost);
+      }
+    }
+  }
+};
+
+class QcsOptimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QcsOptimality, MatchesBruteForceMinimum) {
+  util::Rng rng(util::derive_seed(GetParam(), "qcs-prop", 0));
+  for (int iter = 0; iter < 30; ++iter) {
+    ServiceCatalog cat;
+    const std::size_t layers = 2 + rng.index(3);  // 2..4
+    CompositionRequest req;
+    for (std::size_t l = 0; l < layers; ++l) {
+      const auto svc = cat.add_service("svc");
+      std::vector<InstanceId> layer;
+      const std::size_t count = 2 + rng.index(5);  // 2..6 instances
+      for (std::size_t i = 0; i < count; ++i) {
+        const double olo = rng.uniform(0, 90);
+        const double ohi = olo + rng.uniform(0, 10);
+        if (l == 0) {
+          layer.push_back(add_inst(cat, svc, 1, 0, olo, ohi,
+                                   rng.uniform(5, 300), rng.uniform(50, 500)));
+        } else {
+          const double ilo = rng.uniform(0, 70);
+          const double ihi = ilo + rng.uniform(5, 40);
+          layer.push_back(add_inst(cat, svc, ilo, ihi, olo, ohi,
+                                   rng.uniform(5, 300), rng.uniform(50, 500)));
+        }
+      }
+      req.candidates.push_back(std::move(layer));
+    }
+    const double floor = rng.uniform(0, 60);
+    req.requirement = requirement(floor, 100);
+
+    auto composer = make_composer(cat);
+    const auto result = composer.compose(req);
+
+    BruteForce bf{cat, composer, req};
+    bf.search(0, nullptr, 0);
+    const bool feasible = std::isfinite(bf.best);
+
+    ASSERT_EQ(result.success, feasible) << "iter " << iter;
+    if (!feasible) continue;
+    EXPECT_NEAR(result.cost, bf.best, 1e-9) << "iter " << iter;
+
+    // The returned path is QoS-consistent end to end.
+    ASSERT_EQ(result.instances.size(), layers);
+    EXPECT_TRUE(qos::satisfies(cat.instance(result.instances.back()).qout,
+                               req.requirement));
+    for (std::size_t l = 0; l + 1 < layers; ++l) {
+      EXPECT_TRUE(qos::satisfies(cat.instance(result.instances[l]).qout,
+                                 cat.instance(result.instances[l + 1]).qin));
+    }
+    // And its cost is the sum of its instance costs.
+    double sum = 0;
+    for (InstanceId id : result.instances) sum += composer.instance_cost(id);
+    EXPECT_NEAR(result.cost, sum, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QcsOptimality,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace qsa::core

@@ -1,0 +1,245 @@
+// Randomized failure-injection sweeps: long random operation sequences with
+// global invariants checked at every step.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "qsa/harness/grid.hpp"
+#include "qsa/session/manager.hpp"
+#include "qsa/util/rng.hpp"
+#include "qsa/workload/apps.hpp"
+
+namespace qsa {
+namespace {
+
+using net::PeerId;
+using net::ProbeClock;
+using qos::ResourceVector;
+using sim::SimTime;
+
+// --------------------------------------------------------------------
+// Peer-table fuzz: interleaved reserve/release/remove keeps 0 <= reserved
+// <= capacity on every peer.
+
+class PeerTableFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PeerTableFuzz, ReservationLedgerInvariants) {
+  util::Rng rng(util::derive_seed(GetParam(), "peer-fuzz", 0));
+  net::PeerTable peers(qos::ResourceSchema::paper(),
+                       ProbeClock(SimTime::seconds(30)));
+  struct Reservation {
+    PeerId peer;
+    ResourceVector r;
+  };
+  std::vector<Reservation> held;
+  std::vector<PeerId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(peers.add_peer(
+        ResourceVector{rng.uniform(100, 1000), rng.uniform(100, 1000)},
+        SimTime::zero()));
+  }
+  SimTime now = SimTime::zero();
+  for (int step = 0; step < 2000; ++step) {
+    now += SimTime::seconds(rng.uniform(0, 20));
+    switch (rng.index(4)) {
+      case 0: {  // reserve
+        const PeerId p = ids[rng.index(ids.size())];
+        const ResourceVector r{rng.uniform(1, 300), rng.uniform(1, 300)};
+        if (peers.try_reserve(p, r, now)) held.push_back({p, r});
+        break;
+      }
+      case 1: {  // release one
+        if (held.empty()) break;
+        const std::size_t i = rng.index(held.size());
+        peers.release(held[i].peer, held[i].r, now);
+        held[i] = held.back();
+        held.pop_back();
+        break;
+      }
+      case 2: {  // remove a peer; its outstanding reservations evaporate
+        const PeerId p = ids[rng.index(ids.size())];
+        peers.remove_peer(p, now);
+        std::erase_if(held, [&](const Reservation& r) { return r.peer == p; });
+        break;
+      }
+      default: {  // add a fresh peer
+        if (ids.size() > 60) break;
+        ids.push_back(peers.add_peer(
+            ResourceVector{rng.uniform(100, 1000), rng.uniform(100, 1000)},
+            now));
+        break;
+      }
+    }
+    // Invariants: availability within [0, capacity]; probed view too.
+    for (const PeerId p : ids) {
+      if (!peers.alive(p)) continue;
+      const auto avail = peers.peer(p).available();
+      EXPECT_TRUE(avail.nonnegative()) << "step " << step;
+      EXPECT_TRUE(avail.fits_within(peers.peer(p).capacity()));
+      EXPECT_TRUE(peers.probed_available(p, now).fits_within(
+          peers.peer(p).capacity()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeerTableFuzz, ::testing::Values(1, 2, 3, 4));
+
+// --------------------------------------------------------------------
+// Network fuzz: reservations never exceed pair capacity; release restores.
+
+class NetworkFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetworkFuzz, LinkLedgerInvariants) {
+  util::Rng rng(util::derive_seed(GetParam(), "net-fuzz", 0));
+  net::NetworkModel net(GetParam(), ProbeClock(SimTime::seconds(30)));
+  struct Link {
+    PeerId a, b;
+    double kbps;
+  };
+  std::vector<Link> held;
+  std::map<std::pair<PeerId, PeerId>, double> expected;
+  auto key = [](PeerId a, PeerId b) {
+    return std::make_pair(std::min(a, b), std::max(a, b));
+  };
+  SimTime now = SimTime::zero();
+  for (int step = 0; step < 3000; ++step) {
+    now += SimTime::seconds(rng.uniform(0, 10));
+    if (held.empty() || rng.bernoulli(0.6)) {
+      const auto a = static_cast<PeerId>(rng.index(12));
+      const auto b = static_cast<PeerId>(rng.index(12));
+      if (a == b) continue;
+      const double kbps = rng.uniform(1, 400);
+      if (net.try_reserve(a, b, kbps, now)) {
+        held.push_back({a, b, kbps});
+        expected[key(a, b)] += kbps;
+      }
+    } else {
+      const std::size_t i = rng.index(held.size());
+      net.release(held[i].a, held[i].b, held[i].kbps, now);
+      expected[key(held[i].a, held[i].b)] -= held[i].kbps;
+      held[i] = held.back();
+      held.pop_back();
+    }
+    // Shadow-ledger equivalence and capacity bounds.
+    for (const auto& [pair, kbps] : expected) {
+      const double avail = net.available_kbps(pair.first, pair.second);
+      const double cap = net.capacity_kbps(pair.first, pair.second);
+      EXPECT_NEAR(avail, cap - kbps, 1e-6) << "step " << step;
+      EXPECT_GE(avail, -1e-6);
+      EXPECT_LE(avail, cap + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkFuzz, ::testing::Values(1, 2, 3, 4));
+
+// --------------------------------------------------------------------
+// Session-manager fuzz: random admissions, completions (via time), and
+// departures; the accounting identity admitted = completed + aborted +
+// active holds throughout, and resources return to baseline once everything
+// drains.
+
+class SessionFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SessionFuzz, AccountingIdentityAndDrain) {
+  util::Rng rng(util::derive_seed(GetParam(), "session-fuzz", 0));
+  sim::Simulator simulator;
+  net::PeerTable peers(qos::ResourceSchema::paper(),
+                       ProbeClock(SimTime::seconds(30)));
+  net::NetworkModel net(GetParam(), ProbeClock(SimTime::seconds(30)));
+  registry::ServiceCatalog catalog;
+  catalog.add_service("svc");
+  registry::ServiceInstance inst;
+  inst.service = 0;
+  inst.resources = ResourceVector{60, 60};
+  inst.bandwidth_kbps = 15;
+  const auto inst_id = catalog.add_instance(inst);
+  session::SessionManager manager(simulator, peers, net, catalog);
+
+  std::vector<PeerId> ids;
+  for (int i = 0; i < 30; ++i) {
+    ids.push_back(
+        peers.add_peer(ResourceVector{400, 400}, SimTime::minutes(-10)));
+  }
+  const PeerId requester = ids[0];
+
+  for (int step = 0; step < 400; ++step) {
+    simulator.run_until(simulator.now() + SimTime::seconds(rng.uniform(1, 90)));
+    const auto action = rng.index(3);
+    if (action == 0 || action == 1) {  // try to admit
+      core::ServiceRequest req;
+      req.requester = requester;
+      req.abstract_path = {0};
+      req.session_duration = SimTime::minutes(rng.uniform(1, 20));
+      core::AggregationPlan plan;
+      const std::size_t hops = 1 + rng.index(3);
+      for (std::size_t h = 0; h < hops; ++h) {
+        plan.instances.push_back(inst_id);
+        plan.hosts.push_back(ids[1 + rng.index(ids.size() - 1)]);
+      }
+      (void)manager.start_session(req, plan);
+    } else {  // depart and re-add a peer
+      const std::size_t i = 1 + rng.index(ids.size() - 1);
+      manager.peer_departed(ids[i]);
+      peers.remove_peer(ids[i], simulator.now());
+      ids[i] =
+          peers.add_peer(ResourceVector{400, 400}, simulator.now());
+    }
+    const auto& st = manager.stats();
+    EXPECT_EQ(st.admitted,
+              st.completed + st.aborted + manager.active_sessions())
+        << "step " << step;
+  }
+
+  // Drain: every remaining session ends; all live peers return to full
+  // availability.
+  simulator.run_until(simulator.now() + SimTime::minutes(30));
+  EXPECT_EQ(manager.active_sessions(), 0u);
+  for (const PeerId p : ids) {
+    if (!peers.alive(p)) continue;
+    EXPECT_EQ(peers.peer(p).available(), peers.peer(p).capacity());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+// --------------------------------------------------------------------
+// Whole-grid smoke fuzz: random configurations must run to completion with
+// coherent accounting (no crashes, psi in [0,1], failures sum up).
+
+class GridFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridFuzz, RandomConfigsRunCoherently) {
+  util::Rng rng(util::derive_seed(GetParam(), "grid-fuzz", 0));
+  harness::GridConfig cfg;
+  cfg.seed = GetParam() * 101;
+  cfg.peers = 200 + rng.index(200);
+  cfg.min_providers = 8;
+  cfg.max_providers = 16 + static_cast<int>(rng.index(16));
+  cfg.apps.applications = 3 + static_cast<int>(rng.index(5));
+  cfg.requests.rate_per_min = rng.uniform(5, 120);
+  cfg.churn.events_per_min = rng.bernoulli(0.5) ? rng.uniform(0, 15) : 0;
+  cfg.enable_recovery = rng.bernoulli(0.3);
+  const auto overlay_draw = rng.index(3);
+  cfg.overlay = overlay_draw == 0   ? harness::OverlayKind::kChord
+                : overlay_draw == 1 ? harness::OverlayKind::kCan
+                                    : harness::OverlayKind::kPastry;
+  cfg.probe_budget = 10 + rng.index(150);
+  cfg.horizon = sim::SimTime::minutes(8);
+
+  harness::GridSimulation grid(cfg);
+  const auto r = grid.run();
+  EXPECT_GE(r.success_ratio(), 0.0);
+  EXPECT_LE(r.success_ratio(), 1.0);
+  const auto failures = r.failures_discovery + r.failures_composition +
+                        r.failures_selection + r.failures_admission +
+                        r.failures_departure;
+  EXPECT_EQ(r.successes + failures, r.requests);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace qsa

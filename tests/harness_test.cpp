@@ -1,0 +1,122 @@
+// Experiment runner, config scaling, and harness-level helpers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "qsa/harness/experiment.hpp"
+
+namespace qsa::harness {
+namespace {
+
+GridConfig tiny_config() {
+  GridConfig c;
+  c.seed = 5;
+  c.peers = 200;
+  c.min_providers = 10;
+  c.max_providers = 20;
+  c.apps.applications = 4;
+  c.requests.rate_per_min = 10;
+  c.horizon = sim::SimTime::minutes(6);
+  return c;
+}
+
+TEST(AlgorithmKindNames, RoundTrip) {
+  EXPECT_EQ(to_string(AlgorithmKind::kQsa), "qsa");
+  EXPECT_EQ(to_string(AlgorithmKind::kRandom), "random");
+  EXPECT_EQ(to_string(AlgorithmKind::kFixed), "fixed");
+}
+
+TEST(GridConfigScale, ScalesPopulationBoundKnobs) {
+  GridConfig c;
+  c.peers = 10'000;
+  c.requests.rate_per_min = 200;
+  c.churn.events_per_min = 50;
+  c.scale(0.1);
+  EXPECT_EQ(c.peers, 1000u);
+  EXPECT_DOUBLE_EQ(c.requests.rate_per_min, 20);
+  EXPECT_DOUBLE_EQ(c.churn.events_per_min, 5);
+}
+
+TEST(GridConfigScale, EnforcesMinimumPopulation) {
+  GridConfig c;
+  c.peers = 1000;
+  c.scale(0.01);
+  EXPECT_EQ(c.peers, 200u);
+}
+
+TEST(GridConfigScale, EnvScaleParsesVariable) {
+  ::setenv("QSA_SCALE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(GridConfig::env_scale(), 0.25);
+  ::unsetenv("QSA_SCALE");
+  EXPECT_DOUBLE_EQ(GridConfig::env_scale(0.5), 0.5);
+  ::setenv("QSA_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(GridConfig::env_scale(0.5), 0.5);
+  ::unsetenv("QSA_SCALE");
+}
+
+TEST(AlgorithmComparison, BuildsThreeCells) {
+  const auto cells = algorithm_comparison(tiny_config(), "r100/");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0].label, "r100/qsa");
+  EXPECT_EQ(cells[0].config.algorithm, AlgorithmKind::kQsa);
+  EXPECT_EQ(cells[1].label, "r100/random");
+  EXPECT_EQ(cells[2].label, "r100/fixed");
+  // Everything else is inherited from the base config.
+  EXPECT_EQ(cells[1].config.peers, tiny_config().peers);
+}
+
+TEST(ExperimentRunner, RunsCellsAndPreservesOrder) {
+  std::vector<ExperimentCell> cells;
+  for (int i = 0; i < 3; ++i) {
+    auto c = tiny_config();
+    c.seed = static_cast<std::uint64_t>(100 + i);
+    cells.push_back(ExperimentCell{"cell" + std::to_string(i), c});
+  }
+  ExperimentRunner runner(2);
+  const auto results = runner.run(cells);
+  ASSERT_EQ(results.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].label,
+              "cell" + std::to_string(i));
+    EXPECT_GT(results[static_cast<std::size_t>(i)].result.requests, 0u);
+  }
+}
+
+TEST(ExperimentRunner, ThreadCountDoesNotChangeResults) {
+  std::vector<ExperimentCell> cells;
+  for (int i = 0; i < 4; ++i) {
+    auto c = tiny_config();
+    c.seed = static_cast<std::uint64_t>(7 + i);
+    cells.push_back(ExperimentCell{std::to_string(i), c});
+  }
+  const auto serial = ExperimentRunner(1).run(cells);
+  const auto parallel = ExperimentRunner(4).run(cells);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].result.requests, parallel[i].result.requests);
+    EXPECT_EQ(serial[i].result.successes, parallel[i].result.successes);
+    EXPECT_EQ(serial[i].result.lookup_hops, parallel[i].result.lookup_hops);
+  }
+}
+
+TEST(QsaOptionsAblation, TiersCanBeDisabled) {
+  // Full QSA vs selection-ablated QSA on the same saturated grid: smart
+  // selection must not lose.
+  auto base = tiny_config();
+  base.requests.rate_per_min = 80;
+  base.horizon = sim::SimTime::minutes(10);
+
+  auto run_with = [&](core::QsaOptions options) {
+    auto c = base;
+    c.qsa_options = options;
+    GridSimulation grid(c);
+    return grid.run().success_ratio();
+  };
+  const double full = run_with(core::QsaOptions{});
+  const double no_selection =
+      run_with(core::QsaOptions{.smart_selection = false});
+  EXPECT_GE(full, no_selection);
+}
+
+}  // namespace
+}  // namespace qsa::harness

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "qsa/net/network.hpp"
+#include "qsa/net/peer.hpp"
+#include "qsa/net/reservations.hpp"
+
+namespace qsa::net {
+namespace {
+
+using qos::ResourceVector;
+using sim::SimTime;
+
+ProbeClock clock30() { return ProbeClock(SimTime::seconds(30)); }
+
+PeerTable make_table() {
+  return PeerTable(qos::ResourceSchema::paper(), clock30());
+}
+
+// ------------------------------------------------------------ ProbeClock
+
+TEST(ProbeClock, EpochIndexing) {
+  ProbeClock c(SimTime::seconds(30));
+  EXPECT_EQ(c.epoch(SimTime::zero()), 0);
+  EXPECT_EQ(c.epoch(SimTime::seconds(29.9)), 0);
+  EXPECT_EQ(c.epoch(SimTime::seconds(30)), 1);
+  EXPECT_EQ(c.epoch(SimTime::seconds(61)), 2);
+}
+
+TEST(ProbeClock, NegativeTimesFloor) {
+  ProbeClock c(SimTime::seconds(30));
+  EXPECT_EQ(c.epoch(SimTime::seconds(-1)), -1);
+  EXPECT_EQ(c.epoch(SimTime::seconds(-30)), -1);
+  EXPECT_EQ(c.epoch(SimTime::seconds(-31)), -2);
+}
+
+// ----------------------------------------------------------- Snapshotted
+
+TEST(Snapshotted, ReadsLiveWhenUntouchedThisEpoch) {
+  Snapshotted<int> s(10);
+  s.mutate(0, [](int& v) { v = 20; });
+  // Epoch 1 has seen no mutation: the live value *is* the epoch-start value.
+  EXPECT_EQ(s.probed(1), 20);
+  EXPECT_EQ(s.live(), 20);
+}
+
+TEST(Snapshotted, HidesSameEpochMutations) {
+  Snapshotted<int> s(10);
+  s.mutate(5, [](int& v) { v = 99; });
+  // A reader in epoch 5 sees the value at the epoch-5 boundary (10).
+  EXPECT_EQ(s.probed(5), 10);
+  EXPECT_EQ(s.live(), 99);
+  // Next epoch the mutation becomes visible.
+  EXPECT_EQ(s.probed(6), 99);
+}
+
+TEST(Snapshotted, MultipleMutationsSameEpoch) {
+  Snapshotted<int> s(1);
+  s.mutate(3, [](int& v) { v += 10; });
+  s.mutate(3, [](int& v) { v += 100; });
+  EXPECT_EQ(s.probed(3), 1);
+  EXPECT_EQ(s.live(), 111);
+  EXPECT_EQ(s.probed(4), 111);
+}
+
+TEST(Snapshotted, SnapshotRollsForwardAcrossEpochs) {
+  Snapshotted<int> s(0);
+  s.mutate(1, [](int& v) { v = 1; });
+  s.mutate(2, [](int& v) { v = 2; });
+  s.mutate(4, [](int& v) { v = 4; });
+  EXPECT_EQ(s.probed(4), 2);  // value at the start of epoch 4
+  EXPECT_EQ(s.probed(5), 4);
+}
+
+// -------------------------------------------------------------- PeerTable
+
+TEST(PeerTable, AddPeersAssignsSequentialIds) {
+  auto t = make_table();
+  EXPECT_EQ(t.add_peer(ResourceVector{100, 100}, SimTime::zero()), 0u);
+  EXPECT_EQ(t.add_peer(ResourceVector{200, 200}, SimTime::zero()), 1u);
+  EXPECT_EQ(t.total_peers(), 2u);
+  EXPECT_EQ(t.alive_count(), 2u);
+}
+
+TEST(PeerTable, RemovePeerUpdatesAliveSet) {
+  auto t = make_table();
+  const auto a = t.add_peer(ResourceVector{100, 100}, SimTime::zero());
+  const auto b = t.add_peer(ResourceVector{100, 100}, SimTime::zero());
+  const auto c = t.add_peer(ResourceVector{100, 100}, SimTime::zero());
+  t.remove_peer(b, SimTime::seconds(10));
+  EXPECT_FALSE(t.alive(b));
+  EXPECT_TRUE(t.alive(a));
+  EXPECT_TRUE(t.alive(c));
+  EXPECT_EQ(t.alive_count(), 2u);
+  // alive_ids stays consistent.
+  for (PeerId id : t.alive_ids()) EXPECT_TRUE(t.alive(id));
+}
+
+TEST(PeerTable, RemoveTwiceIsNoop) {
+  auto t = make_table();
+  const auto a = t.add_peer(ResourceVector{100, 100}, SimTime::zero());
+  t.remove_peer(a, SimTime::zero());
+  t.remove_peer(a, SimTime::zero());
+  EXPECT_EQ(t.alive_count(), 0u);
+}
+
+TEST(PeerTable, DepartureTimeRecorded) {
+  auto t = make_table();
+  const auto a = t.add_peer(ResourceVector{100, 100}, SimTime::zero());
+  EXPECT_EQ(t.peer(a).departed_at(), SimTime::infinity());
+  t.remove_peer(a, SimTime::seconds(42));
+  EXPECT_EQ(t.peer(a).departed_at(), SimTime::seconds(42));
+}
+
+TEST(PeerTable, UptimeFromJoinTime) {
+  auto t = make_table();
+  const auto a =
+      t.add_peer(ResourceVector{100, 100}, SimTime::minutes(-30));
+  EXPECT_EQ(t.peer(a).uptime(SimTime::minutes(10)), SimTime::minutes(40));
+}
+
+TEST(PeerTable, ReserveAndRelease) {
+  auto t = make_table();
+  const auto a = t.add_peer(ResourceVector{100, 100}, SimTime::zero());
+  EXPECT_TRUE(t.try_reserve(a, ResourceVector{60, 60}, SimTime::zero()));
+  EXPECT_EQ(t.peer(a).available(), (ResourceVector{40, 40}));
+  EXPECT_FALSE(t.try_reserve(a, ResourceVector{50, 10}, SimTime::zero()));
+  EXPECT_TRUE(t.try_reserve(a, ResourceVector{40, 40}, SimTime::zero()));
+  EXPECT_EQ(t.peer(a).available(), (ResourceVector{0, 0}));
+  t.release(a, ResourceVector{60, 60}, SimTime::zero());
+  EXPECT_EQ(t.peer(a).available(), (ResourceVector{60, 60}));
+}
+
+TEST(PeerTable, FailedReserveLeavesStateIntact) {
+  auto t = make_table();
+  const auto a = t.add_peer(ResourceVector{100, 100}, SimTime::zero());
+  EXPECT_FALSE(t.try_reserve(a, ResourceVector{50, 150}, SimTime::zero()));
+  EXPECT_EQ(t.peer(a).available(), (ResourceVector{100, 100}));
+}
+
+TEST(PeerTable, ReserveOnDeadPeerFails) {
+  auto t = make_table();
+  const auto a = t.add_peer(ResourceVector{100, 100}, SimTime::zero());
+  t.remove_peer(a, SimTime::zero());
+  EXPECT_FALSE(t.try_reserve(a, ResourceVector{1, 1}, SimTime::zero()));
+}
+
+TEST(PeerTable, ReleaseOnDeadPeerIsNoop) {
+  auto t = make_table();
+  const auto a = t.add_peer(ResourceVector{100, 100}, SimTime::zero());
+  EXPECT_TRUE(t.try_reserve(a, ResourceVector{10, 10}, SimTime::zero()));
+  t.remove_peer(a, SimTime::zero());
+  t.release(a, ResourceVector{10, 10}, SimTime::zero());  // no crash, no-op
+}
+
+TEST(PeerTable, ProbedAvailabilityIsEpochStale) {
+  auto t = make_table();
+  const auto a = t.add_peer(ResourceVector{100, 100}, SimTime::zero());
+  // Reserve inside epoch 0.
+  EXPECT_TRUE(t.try_reserve(a, ResourceVector{70, 70}, SimTime::seconds(5)));
+  // Probers in epoch 0 still see the full capacity.
+  EXPECT_EQ(t.probed_available(a, SimTime::seconds(10)),
+            (ResourceVector{100, 100}));
+  // After the epoch boundary, the reservation becomes visible.
+  EXPECT_EQ(t.probed_available(a, SimTime::seconds(31)),
+            (ResourceVector{30, 30}));
+  // Ground truth is immediate.
+  EXPECT_EQ(t.peer(a).available(), (ResourceVector{30, 30}));
+}
+
+TEST(PeerTable, ProbedUptimeUsesEpochBoundary) {
+  auto t = make_table();
+  const auto a = t.add_peer(ResourceVector{100, 100}, SimTime::minutes(-10));
+  // At t=45s, the last probe boundary is 30s; uptime = 30s + 10min.
+  EXPECT_EQ(t.probed_uptime(a, SimTime::seconds(45)),
+            SimTime::seconds(630));
+}
+
+TEST(PeerTable, ProbedAliveLagsDeparture) {
+  auto t = make_table();
+  const auto a = t.add_peer(ResourceVector{100, 100}, SimTime::zero());
+  t.remove_peer(a, SimTime::seconds(35));  // dies inside epoch 1
+  EXPECT_FALSE(t.alive(a));
+  // Probers within epoch 1 still believe it alive...
+  EXPECT_TRUE(t.probed_alive(a, SimTime::seconds(45)));
+  // ...and learn the truth at the next boundary.
+  EXPECT_FALSE(t.probed_alive(a, SimTime::seconds(61)));
+}
+
+// ------------------------------------------------------------ NetworkModel
+
+TEST(NetworkModel, CapacityFromPaperLevels) {
+  NetworkModel net(1, clock30());
+  std::map<double, int> histogram;
+  for (PeerId a = 0; a < 60; ++a) {
+    for (PeerId b = a + 1; b < 60; ++b) {
+      ++histogram[net.capacity_kbps(a, b)];
+    }
+  }
+  // Exactly the paper's four levels appear, each a nontrivial share.
+  ASSERT_EQ(histogram.size(), 4u);
+  EXPECT_TRUE(histogram.contains(10'000));
+  EXPECT_TRUE(histogram.contains(500));
+  EXPECT_TRUE(histogram.contains(100));
+  EXPECT_TRUE(histogram.contains(56));
+  for (const auto& [level, count] : histogram) EXPECT_GT(count, 200);
+}
+
+TEST(NetworkModel, LatencyFromPaperLevels) {
+  NetworkModel net(1, clock30());
+  std::map<std::int64_t, int> histogram;
+  for (PeerId a = 0; a < 60; ++a) {
+    for (PeerId b = a + 1; b < 60; ++b) {
+      ++histogram[net.latency(a, b).as_millis()];
+    }
+  }
+  ASSERT_EQ(histogram.size(), 5u);
+  for (std::int64_t ms : {200, 150, 80, 20, 1}) {
+    EXPECT_TRUE(histogram.contains(ms)) << ms;
+  }
+}
+
+TEST(NetworkModel, PairValuesAreSymmetricAndStable) {
+  NetworkModel net(7, clock30());
+  EXPECT_DOUBLE_EQ(net.capacity_kbps(3, 9), net.capacity_kbps(9, 3));
+  EXPECT_EQ(net.latency(3, 9), net.latency(9, 3));
+  EXPECT_DOUBLE_EQ(net.capacity_kbps(3, 9), net.capacity_kbps(3, 9));
+}
+
+TEST(NetworkModel, DifferentSeedsGiveDifferentDraws) {
+  NetworkModel n1(1, clock30()), n2(2, clock30());
+  int differing = 0;
+  for (PeerId b = 1; b < 50; ++b) {
+    differing += n1.capacity_kbps(0, b) != n2.capacity_kbps(0, b);
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(NetworkModel, LoopbackUnconstrained) {
+  NetworkModel net(1, clock30());
+  EXPECT_GE(net.capacity_kbps(5, 5), 1e9);
+  EXPECT_EQ(net.latency(5, 5), SimTime::zero());
+}
+
+TEST(NetworkModel, ReserveAndRelease) {
+  NetworkModel net(1, clock30());
+  // Find a 10 Mbps pair so there is room.
+  PeerId b = 1;
+  while (net.capacity_kbps(0, b) != 10'000) ++b;
+  const double cap = net.capacity_kbps(0, b);
+  EXPECT_TRUE(net.try_reserve(0, b, 4000, SimTime::zero()));
+  EXPECT_DOUBLE_EQ(net.available_kbps(0, b), cap - 4000);
+  EXPECT_FALSE(net.try_reserve(0, b, cap, SimTime::zero()));
+  net.release(0, b, 4000, SimTime::zero());
+  EXPECT_DOUBLE_EQ(net.available_kbps(0, b), cap);
+}
+
+TEST(NetworkModel, ReservationIsDirectionless) {
+  NetworkModel net(1, clock30());
+  PeerId b = 1;
+  while (net.capacity_kbps(0, b) != 10'000) ++b;
+  EXPECT_TRUE(net.try_reserve(0, b, 6000, SimTime::zero()));
+  // The same bottleneck is shared by both directions.
+  EXPECT_DOUBLE_EQ(net.available_kbps(b, 0), net.available_kbps(0, b));
+  net.release(b, 0, 6000, SimTime::zero());
+  EXPECT_DOUBLE_EQ(net.available_kbps(0, b), 10'000);
+}
+
+TEST(NetworkModel, ProbedBandwidthIsEpochStale) {
+  NetworkModel net(1, clock30());
+  PeerId b = 1;
+  while (net.capacity_kbps(0, b) != 10'000) ++b;
+  EXPECT_TRUE(net.try_reserve(0, b, 5000, SimTime::seconds(5)));
+  EXPECT_DOUBLE_EQ(net.probed_available_kbps(0, b, SimTime::seconds(10)),
+                   10'000);
+  EXPECT_DOUBLE_EQ(net.probed_available_kbps(0, b, SimTime::seconds(31)),
+                   5'000);
+}
+
+TEST(NetworkModel, ActivePairsTracksReservedLinks) {
+  NetworkModel net(1, clock30());
+  EXPECT_EQ(net.active_pairs(), 0u);
+  ASSERT_TRUE(net.try_reserve(0, 1, 1, SimTime::zero()));
+  ASSERT_TRUE(net.try_reserve(0, 2, 1, SimTime::zero()));
+  EXPECT_EQ(net.active_pairs(), 2u);
+}
+
+}  // namespace
+}  // namespace qsa::net

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qsa/probe/neighbor_table.hpp"
+#include "qsa/probe/resolution.hpp"
+#include "qsa/probe/snapshot.hpp"
+
+namespace qsa::probe {
+namespace {
+
+using net::PeerId;
+using net::ProbeClock;
+using qos::ResourceVector;
+using sim::SimTime;
+
+// ------------------------------------------------------------- snapshots
+
+struct SnapshotFixture : ::testing::Test {
+  SnapshotFixture()
+      : peers(qos::ResourceSchema::paper(), ProbeClock(SimTime::seconds(30))),
+        net(1, ProbeClock(SimTime::seconds(30))) {
+    a = peers.add_peer(ResourceVector{500, 500}, SimTime::minutes(-20));
+    b = peers.add_peer(ResourceVector{800, 800}, SimTime::minutes(-5));
+  }
+
+  net::PeerTable peers;
+  net::NetworkModel net;
+  PeerId a = 0, b = 0;
+};
+
+TEST_F(SnapshotFixture, CapturesAvailabilityAndUptime) {
+  const auto s = probe(peers, net, a, b, SimTime::seconds(60));
+  EXPECT_TRUE(s.alive);
+  EXPECT_EQ(s.available, (ResourceVector{800, 800}));
+  // Epoch boundary at t=60: uptime = 60s + 5min.
+  EXPECT_EQ(s.uptime, SimTime::seconds(360));
+  EXPECT_EQ(s.latency, net.latency(b, a));
+  EXPECT_DOUBLE_EQ(s.bandwidth_kbps, net.capacity_kbps(a, b));
+}
+
+TEST_F(SnapshotFixture, StaleWithinEpoch) {
+  ASSERT_TRUE(peers.try_reserve(b, ResourceVector{300, 300}, SimTime::seconds(40)));
+  const auto during = probe(peers, net, a, b, SimTime::seconds(50));
+  EXPECT_EQ(during.available, (ResourceVector{800, 800}));  // epoch-1 state
+  const auto after = probe(peers, net, a, b, SimTime::seconds(65));
+  EXPECT_EQ(after.available, (ResourceVector{500, 500}));
+}
+
+TEST_F(SnapshotFixture, DeadPeerReportsNotAliveNextEpoch) {
+  peers.remove_peer(b, SimTime::seconds(10));
+  const auto during = probe(peers, net, a, b, SimTime::seconds(20));
+  EXPECT_TRUE(during.alive);  // died mid-epoch: probers don't know yet
+  const auto after = probe(peers, net, a, b, SimTime::seconds(40));
+  EXPECT_FALSE(after.alive);
+}
+
+// ---------------------------------------------------------- benefit rank
+
+TEST(BenefitRank, PaperOrdering) {
+  // 1-hop direct < 1-hop indirect < 2-hop direct < 2-hop indirect < ...
+  EXPECT_LT(benefit_rank(1, NeighborKind::kDirect),
+            benefit_rank(1, NeighborKind::kIndirect));
+  EXPECT_LT(benefit_rank(1, NeighborKind::kIndirect),
+            benefit_rank(2, NeighborKind::kDirect));
+  EXPECT_LT(benefit_rank(2, NeighborKind::kDirect),
+            benefit_rank(2, NeighborKind::kIndirect));
+  EXPECT_LT(benefit_rank(2, NeighborKind::kIndirect),
+            benefit_rank(3, NeighborKind::kDirect));
+}
+
+// --------------------------------------------------------- NeighborTable
+
+TEST(NeighborTable, AddAndKnow) {
+  NeighborTable t(10);
+  EXPECT_FALSE(t.knows(5, SimTime::zero()));
+  EXPECT_TRUE(t.add(5, 1, NeighborKind::kDirect, SimTime::zero(),
+                    SimTime::minutes(10)));
+  EXPECT_TRUE(t.knows(5, SimTime::zero()));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(NeighborTable, EntriesExpire) {
+  NeighborTable t(10);
+  t.add(5, 1, NeighborKind::kDirect, SimTime::zero(), SimTime::minutes(10));
+  EXPECT_TRUE(t.knows(5, SimTime::minutes(9)));
+  EXPECT_FALSE(t.knows(5, SimTime::minutes(10)));
+  EXPECT_FALSE(t.knows(5, SimTime::minutes(11)));
+}
+
+TEST(NeighborTable, RefreshExtendsTtl) {
+  NeighborTable t(10);
+  t.add(5, 1, NeighborKind::kDirect, SimTime::zero(), SimTime::minutes(10));
+  t.add(5, 1, NeighborKind::kDirect, SimTime::minutes(8), SimTime::minutes(10));
+  EXPECT_TRUE(t.knows(5, SimTime::minutes(15)));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(NeighborTable, RefreshKeepsBetterRank) {
+  NeighborTable t(10);
+  t.add(5, 3, NeighborKind::kIndirect, SimTime::zero(), SimTime::minutes(10));
+  t.add(5, 1, NeighborKind::kDirect, SimTime::zero(), SimTime::minutes(10));
+  const auto& e = t.entries().at(5);
+  EXPECT_EQ(e.hop, 1);
+  EXPECT_EQ(e.kind, NeighborKind::kDirect);
+  // A later worse-rank notification does not downgrade it.
+  t.add(5, 4, NeighborKind::kIndirect, SimTime::zero(), SimTime::minutes(10));
+  EXPECT_EQ(t.entries().at(5).hop, 1);
+}
+
+TEST(NeighborTable, BudgetEnforced) {
+  NeighborTable t(3);
+  for (PeerId p = 0; p < 5; ++p) {
+    t.add(p, 1, NeighborKind::kDirect, SimTime::zero(), SimTime::minutes(10));
+  }
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(NeighborTable, EvictsLowestBenefitFirst) {
+  NeighborTable t(2);
+  t.add(1, 3, NeighborKind::kIndirect, SimTime::zero(), SimTime::minutes(10));
+  t.add(2, 1, NeighborKind::kDirect, SimTime::zero(), SimTime::minutes(10));
+  // A 1-hop direct newcomer evicts the 3-hop indirect entry, not peer 2.
+  EXPECT_TRUE(t.add(3, 1, NeighborKind::kDirect, SimTime::zero(),
+                    SimTime::minutes(10)));
+  EXPECT_FALSE(t.knows(1, SimTime::zero()));
+  EXPECT_TRUE(t.knows(2, SimTime::zero()));
+  EXPECT_TRUE(t.knows(3, SimTime::zero()));
+}
+
+TEST(NeighborTable, RejectsWorseThanEverything) {
+  NeighborTable t(2);
+  t.add(1, 1, NeighborKind::kDirect, SimTime::zero(), SimTime::minutes(10));
+  t.add(2, 1, NeighborKind::kDirect, SimTime::zero(), SimTime::minutes(10));
+  EXPECT_FALSE(t.add(3, 4, NeighborKind::kIndirect, SimTime::zero(),
+                     SimTime::minutes(10)));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_FALSE(t.knows(3, SimTime::zero()));
+}
+
+TEST(NeighborTable, ExpiredEntriesAreReusedBeforeEviction) {
+  NeighborTable t(2);
+  t.add(1, 1, NeighborKind::kDirect, SimTime::zero(), SimTime::minutes(1));
+  t.add(2, 1, NeighborKind::kDirect, SimTime::zero(), SimTime::minutes(60));
+  // At t=5 entry 1 is expired; even a low-benefit newcomer may take its slot.
+  EXPECT_TRUE(t.add(3, 4, NeighborKind::kIndirect, SimTime::minutes(5),
+                    SimTime::minutes(10)));
+  EXPECT_TRUE(t.knows(2, SimTime::minutes(5)));
+  EXPECT_TRUE(t.knows(3, SimTime::minutes(5)));
+}
+
+TEST(NeighborTable, PurgeDropsExpired) {
+  NeighborTable t(10);
+  t.add(1, 1, NeighborKind::kDirect, SimTime::zero(), SimTime::minutes(1));
+  t.add(2, 1, NeighborKind::kDirect, SimTime::zero(), SimTime::minutes(60));
+  t.purge(SimTime::minutes(5));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.knows(2, SimTime::minutes(5)));
+}
+
+TEST(NeighborTable, EraseRemovesEntry) {
+  NeighborTable t(10);
+  t.add(1, 1, NeighborKind::kDirect, SimTime::zero(), SimTime::minutes(10));
+  t.erase(1);
+  EXPECT_FALSE(t.knows(1, SimTime::zero()));
+}
+
+// ----------------------------------------------------- NeighborResolution
+
+TEST(NeighborResolution, RegisterPathFillsRequesterTable) {
+  NeighborResolution res(100, SimTime::minutes(90));
+  const std::vector<std::vector<PeerId>> hops{{10, 11}, {20, 21, 22}, {30}};
+  res.register_path(1, hops, SimTime::zero());
+  auto& table = res.table(1);
+  for (PeerId p : {10, 11, 20, 21, 22, 30}) {
+    EXPECT_TRUE(table.knows(static_cast<PeerId>(p), SimTime::zero()));
+  }
+  // Hop indices recorded as direct neighbors at their distance.
+  EXPECT_EQ(table.entries().at(10).hop, 1);
+  EXPECT_EQ(table.entries().at(20).hop, 2);
+  EXPECT_EQ(table.entries().at(30).hop, 3);
+  EXPECT_EQ(table.entries().at(20).kind, NeighborKind::kDirect);
+}
+
+TEST(NeighborResolution, MessageAccountingCoversNotificationFanout) {
+  NeighborResolution res(100, SimTime::minutes(90));
+  const std::vector<std::vector<PeerId>> hops{{10, 11}, {20, 21, 22}, {30}};
+  res.register_path(1, hops, SimTime::zero());
+  // Direct notifications: 2 + 3 + 1 = 6; indirect fan-out: 2*3 + 3*1 = 9.
+  EXPECT_EQ(res.messages(), 15u);
+}
+
+TEST(NeighborResolution, PrepareSelectionCreatesIndirectEntries) {
+  NeighborResolution res(100, SimTime::minutes(90));
+  const std::vector<PeerId> candidates{40, 41};
+  res.prepare_selection(20, candidates, 2, /*direct=*/false, SimTime::zero());
+  auto& table = res.table(20);
+  EXPECT_TRUE(table.knows(40, SimTime::zero()));
+  EXPECT_EQ(table.entries().at(40).kind, NeighborKind::kIndirect);
+  EXPECT_EQ(table.entries().at(40).hop, 1);  // one hop from the selector
+}
+
+TEST(NeighborResolution, PrepareSelectionDirectKeepsHopIndex) {
+  NeighborResolution res(100, SimTime::minutes(90));
+  const std::vector<PeerId> candidates{40};
+  res.prepare_selection(1, candidates, 3, /*direct=*/true, SimTime::zero());
+  EXPECT_EQ(res.table(1).entries().at(40).hop, 3);
+  EXPECT_EQ(res.table(1).entries().at(40).kind, NeighborKind::kDirect);
+}
+
+TEST(NeighborResolution, BudgetAppliesPerPeer) {
+  NeighborResolution res(2, SimTime::minutes(90));
+  const std::vector<PeerId> candidates{1, 2, 3, 4};
+  res.prepare_selection(9, candidates, 1, false, SimTime::zero());
+  EXPECT_EQ(res.table(9).size(), 2u);
+}
+
+TEST(NeighborResolution, DropPeerForgetsTable) {
+  NeighborResolution res(100, SimTime::minutes(90));
+  res.prepare_selection(9, std::vector<PeerId>{1}, 1, false, SimTime::zero());
+  EXPECT_EQ(res.table(9).size(), 1u);
+  res.drop_peer(9);
+  EXPECT_EQ(res.table(9).size(), 0u);  // a fresh, empty table
+}
+
+}  // namespace
+}  // namespace qsa::probe

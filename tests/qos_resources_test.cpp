@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "qsa/qos/resources.hpp"
+#include "qsa/qos/translator.hpp"
+#include "qsa/qos/tuple_compare.hpp"
+#include "qsa/util/rng.hpp"
+
+namespace qsa::qos {
+namespace {
+
+// ------------------------------------------------------- ResourceVector
+
+TEST(ResourceVector, ZerosFactory) {
+  const auto v = ResourceVector::zeros(3);
+  EXPECT_EQ(v.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(v[i], 0);
+  EXPECT_TRUE(v.nonnegative());
+}
+
+TEST(ResourceVector, Arithmetic) {
+  const ResourceVector a{10, 20};
+  const ResourceVector b{1, 2};
+  const auto sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 11);
+  EXPECT_DOUBLE_EQ(sum[1], 22);
+  const auto diff = a - b;
+  EXPECT_DOUBLE_EQ(diff[0], 9);
+  EXPECT_DOUBLE_EQ(diff[1], 18);
+  const auto scaled = a * 0.5;
+  EXPECT_DOUBLE_EQ(scaled[0], 5);
+  EXPECT_DOUBLE_EQ(scaled[1], 10);
+}
+
+TEST(ResourceVector, CompoundAssignment) {
+  ResourceVector a{1, 1};
+  a += ResourceVector{2, 3};
+  EXPECT_EQ(a, (ResourceVector{3, 4}));
+  a -= ResourceVector{1, 1};
+  EXPECT_EQ(a, (ResourceVector{2, 3}));
+  a *= 2;
+  EXPECT_EQ(a, (ResourceVector{4, 6}));
+}
+
+TEST(ResourceVector, FitsWithin) {
+  const ResourceVector req{10, 20};
+  EXPECT_TRUE(req.fits_within(ResourceVector{10, 20}));
+  EXPECT_TRUE(req.fits_within(ResourceVector{100, 100}));
+  EXPECT_FALSE(req.fits_within(ResourceVector{9, 100}));
+  EXPECT_FALSE(req.fits_within(ResourceVector{100, 19}));
+}
+
+TEST(ResourceVector, Nonnegative) {
+  EXPECT_TRUE((ResourceVector{0, 0}).nonnegative());
+  EXPECT_TRUE((ResourceVector{1, 2}).nonnegative());
+  EXPECT_FALSE((ResourceVector{1, -0.001}).nonnegative());
+}
+
+TEST(ResourceVector, ToString) {
+  EXPECT_EQ((ResourceVector{1, 2}).to_string(), "[1, 2]");
+}
+
+TEST(ResourceSchema, PaperSchema) {
+  const auto s = ResourceSchema::paper();
+  EXPECT_EQ(s.kinds(), 2u);
+  EXPECT_EQ(s.names[0], "cpu");
+  EXPECT_EQ(s.names[1], "mem");
+  EXPECT_DOUBLE_EQ(s.maxima[0], 1000);
+  EXPECT_DOUBLE_EQ(s.max_bandwidth_kbps, 10'000);
+}
+
+// --------------------------------------------------------- TupleWeights
+
+TEST(TupleWeights, UniformSumsToOne) {
+  const auto w = TupleWeights::uniform(2);
+  double sum = w.bandwidth();
+  for (double x : w.resource()) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_EQ(w.resource().size(), 2u);
+  EXPECT_NEAR(w.resource()[0], 1.0 / 3, 1e-12);
+  EXPECT_NEAR(w.bandwidth(), 1.0 / 3, 1e-12);
+}
+
+TEST(TupleWeights, CustomWeightsAccepted) {
+  const TupleWeights w({0.5, 0.3}, 0.2);
+  EXPECT_DOUBLE_EQ(w.resource()[0], 0.5);
+  EXPECT_DOUBLE_EQ(w.resource()[1], 0.3);
+  EXPECT_DOUBLE_EQ(w.bandwidth(), 0.2);
+}
+
+TEST(TupleWeightsDeath, RejectsBadSum) {
+  EXPECT_DEATH((TupleWeights({0.5, 0.5}, 0.5)), "precondition");
+}
+
+TEST(TupleWeightsDeath, RejectsNegative) {
+  EXPECT_DEATH((TupleWeights({1.2, -0.4}, 0.2)), "precondition");
+}
+
+// --------------------------------------------------- Definition 3.1
+
+TEST(Scalarize, NormalizedRange) {
+  const auto schema = ResourceSchema::paper();
+  const auto w = TupleWeights::uniform(2);
+  // Zero tuple scalarizes to 0; maximal tuple to 1.
+  EXPECT_DOUBLE_EQ(
+      scalarize(ResourceTuple{ResourceVector{0, 0}, 0}, w, schema), 0);
+  EXPECT_NEAR(scalarize(ResourceTuple{ResourceVector{1000, 1000}, 10'000}, w,
+                        schema),
+              1.0, 1e-12);
+}
+
+TEST(Scalarize, WeightsScaleContributions) {
+  const auto schema = ResourceSchema::paper();
+  // All weight on CPU: memory and bandwidth become irrelevant.
+  const TupleWeights cpu_only({1.0, 0.0}, 0.0);
+  const double a =
+      scalarize(ResourceTuple{ResourceVector{500, 0}, 0}, cpu_only, schema);
+  const double b =
+      scalarize(ResourceTuple{ResourceVector{500, 999}, 9999}, cpu_only, schema);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_DOUBLE_EQ(a, 0.5);
+}
+
+TEST(Compare, SignMatchesDefinition) {
+  const auto schema = ResourceSchema::paper();
+  const auto w = TupleWeights::uniform(2);
+  const ResourceTuple small{ResourceVector{10, 10}, 100};
+  const ResourceTuple big{ResourceVector{500, 500}, 5000};
+  EXPECT_LT(compare(small, big, w, schema), 0);
+  EXPECT_GT(compare(big, small, w, schema), 0);
+  EXPECT_DOUBLE_EQ(compare(small, small, w, schema), 0);
+}
+
+TEST(Compare, TradeoffAcrossKinds) {
+  const auto schema = ResourceSchema::paper();
+  const auto w = TupleWeights::uniform(2);
+  // 300 extra CPU units outweigh 100 extra bandwidth kbps under uniform
+  // weights and paper maxima (300/1000 > 100/10000).
+  const ResourceTuple cpu_heavy{ResourceVector{400, 100}, 100};
+  const ResourceTuple bw_heavy{ResourceVector{100, 100}, 200};
+  EXPECT_GT(compare(cpu_heavy, bw_heavy, w, schema), 0);
+}
+
+TEST(CompareProperty, AntisymmetricAndTransitive) {
+  const auto schema = ResourceSchema::paper();
+  const auto w = TupleWeights::uniform(2);
+  util::Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    auto draw = [&] {
+      return ResourceTuple{
+          ResourceVector{rng.uniform(0, 1000), rng.uniform(0, 1000)},
+          rng.uniform(0, 10'000)};
+    };
+    const auto a = draw(), b = draw(), c = draw();
+    EXPECT_NEAR(compare(a, b, w, schema), -compare(b, a, w, schema), 1e-9);
+    if (compare(a, b, w, schema) > 0 && compare(b, c, w, schema) > 0) {
+      EXPECT_GT(compare(a, c, w, schema), 0);
+    }
+  }
+}
+
+// ----------------------------------------------------------- Translator
+
+TEST(AnalyticTranslator, ResourcesGrowWithOutputLevel) {
+  const ParamId level = 1;
+  AnalyticTranslator t(level, AnalyticTranslator::paper_coefficients());
+  QosVector lo_out, hi_out;
+  lo_out.set(level, QosValue::range(10, 20));
+  hi_out.set(level, QosValue::range(80, 90));
+  const auto r_lo = t.resources(QosVector{}, lo_out);
+  const auto r_hi = t.resources(QosVector{}, hi_out);
+  for (std::size_t i = 0; i < r_lo.size(); ++i) EXPECT_LT(r_lo[i], r_hi[i]);
+}
+
+TEST(AnalyticTranslator, BandwidthGrowsWithOutputLevel) {
+  const ParamId level = 1;
+  AnalyticTranslator t(level, AnalyticTranslator::paper_coefficients());
+  QosVector lo_out, hi_out;
+  lo_out.set(level, QosValue::range(10, 20));
+  hi_out.set(level, QosValue::range(80, 90));
+  EXPECT_LT(t.bandwidth_kbps(lo_out), t.bandwidth_kbps(hi_out));
+}
+
+TEST(AnalyticTranslator, MissingLevelTreatedAsZero) {
+  const ParamId level = 1;
+  auto coeff = AnalyticTranslator::paper_coefficients();
+  AnalyticTranslator t(level, coeff);
+  const auto r = t.resources(QosVector{}, QosVector{});
+  EXPECT_EQ(r, coeff.base);
+  EXPECT_DOUBLE_EQ(t.bandwidth_kbps(QosVector{}), coeff.base_bw_kbps);
+}
+
+TEST(AnalyticTranslator, InputLevelContributes) {
+  const ParamId level = 1;
+  AnalyticTranslator t(level, AnalyticTranslator::paper_coefficients());
+  QosVector in;
+  in.set(level, QosValue::range(50, 60));
+  const auto with_in = t.resources(in, QosVector{});
+  const auto without = t.resources(QosVector{}, QosVector{});
+  EXPECT_GT(with_in[0], without[0]);
+}
+
+TEST(AnalyticTranslator, RequirementsAlwaysPositive) {
+  const ParamId level = 1;
+  AnalyticTranslator t(level, AnalyticTranslator::paper_coefficients());
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    QosVector in, out;
+    in.set(level, QosValue::range(rng.uniform(0, 50), rng.uniform(50, 100)));
+    out.set(level, QosValue::range(rng.uniform(0, 50), rng.uniform(50, 100)));
+    const auto r = t.resources(in, out);
+    for (std::size_t k = 0; k < r.size(); ++k) EXPECT_GT(r[k], 0);
+    EXPECT_GT(t.bandwidth_kbps(out), 0);
+  }
+}
+
+}  // namespace
+}  // namespace qsa::qos

@@ -1,0 +1,188 @@
+// The "satisfy" relation of equation 1, including a property sweep against a
+// brute-force re-statement of the definition.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "qsa/qos/satisfy.hpp"
+#include "qsa/util/rng.hpp"
+
+namespace qsa::qos {
+namespace {
+
+QosVector vec(std::initializer_list<std::pair<ParamId, QosValue>> dims) {
+  QosVector v;
+  for (const auto& [p, val] : dims) v.set(p, val);
+  return v;
+}
+
+TEST(Satisfies, EmptyRequirementAlwaysSatisfied) {
+  EXPECT_TRUE(satisfies(QosVector{}, QosVector{}));
+  EXPECT_TRUE(satisfies(vec({{1, QosValue::single(5)}}), QosVector{}));
+}
+
+TEST(Satisfies, MissingOutputDimensionFails) {
+  const auto in = vec({{1, QosValue::range(0, 10)}});
+  EXPECT_FALSE(satisfies(QosVector{}, in));
+  EXPECT_FALSE(satisfies(vec({{2, QosValue::range(1, 2)}}), in));
+}
+
+TEST(Satisfies, SingleDimensionMatch) {
+  const auto out = vec({{1, QosValue::range(3, 4)}});
+  const auto in = vec({{1, QosValue::range(0, 10)}});
+  EXPECT_TRUE(satisfies(out, in));
+}
+
+TEST(Satisfies, ExtraOutputDimensionsIgnored) {
+  const auto out = vec({{1, QosValue::range(3, 4)},
+                        {2, QosValue::symbol(9)},
+                        {5, QosValue::single(1)}});
+  const auto in = vec({{1, QosValue::range(0, 10)}});
+  EXPECT_TRUE(satisfies(out, in));
+}
+
+TEST(Satisfies, AllInputDimensionsMustMatch) {
+  const auto out = vec({{1, QosValue::range(3, 4)}, {2, QosValue::symbol(0)}});
+  EXPECT_TRUE(satisfies(
+      out, vec({{1, QosValue::range(0, 10)}, {2, QosValue::symbol(0)}})));
+  EXPECT_FALSE(satisfies(
+      out, vec({{1, QosValue::range(0, 10)}, {2, QosValue::symbol(1)}})));
+  EXPECT_FALSE(satisfies(
+      out, vec({{1, QosValue::range(4, 10)}, {2, QosValue::symbol(0)}})));
+}
+
+TEST(Satisfies, MixedSingleAndRangeDimensions) {
+  const auto out =
+      vec({{1, QosValue::single(30)}, {2, QosValue::range(10, 12)}});
+  const auto in =
+      vec({{1, QosValue::single(30)}, {2, QosValue::range(0, 20)}});
+  EXPECT_TRUE(satisfies(out, in));
+  const auto in2 =
+      vec({{1, QosValue::single(31)}, {2, QosValue::range(0, 20)}});
+  EXPECT_FALSE(satisfies(out, in2));
+}
+
+TEST(FirstViolation, ReportsOffendingParam) {
+  const auto out = vec({{1, QosValue::range(3, 4)}, {2, QosValue::symbol(0)}});
+  const auto in =
+      vec({{1, QosValue::range(0, 10)}, {2, QosValue::symbol(7)}});
+  const auto v = first_violation(out, in);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 2u);
+}
+
+TEST(FirstViolation, NulloptWhenSatisfied) {
+  const auto out = vec({{1, QosValue::range(3, 4)}});
+  const auto in = vec({{1, QosValue::range(0, 10)}});
+  EXPECT_FALSE(first_violation(out, in).has_value());
+}
+
+TEST(FirstViolation, ReportsFirstInParamOrder) {
+  const auto out = QosVector{};
+  const auto in =
+      vec({{4, QosValue::single(1)}, {2, QosValue::single(1)}});
+  const auto v = first_violation(out, in);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 2u);  // dims are sorted; param 2 is checked first
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: `satisfies` agrees with a brute-force restatement of
+// equation 1 over randomly generated vector pairs.
+
+bool brute_force_satisfies(const QosVector& out, const QosVector& in) {
+  for (const auto& req : in) {
+    bool matched = false;
+    for (const auto& prod : out) {
+      if (prod.param == req.param &&
+          QosValue::satisfies(prod.value, req.value)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+QosValue random_value(util::Rng& rng) {
+  switch (rng.index(3)) {
+    case 0:
+      return QosValue::single(static_cast<double>(rng.uniform_int(0, 5)));
+    case 1:
+      return QosValue::symbol(static_cast<Symbol>(rng.index(3)));
+    default: {
+      const double lo = static_cast<double>(rng.uniform_int(0, 8));
+      const double hi = lo + static_cast<double>(rng.uniform_int(0, 4));
+      return QosValue::range(lo, hi);
+    }
+  }
+}
+
+QosVector random_vector(util::Rng& rng) {
+  QosVector v;
+  const std::size_t dims = rng.index(4);  // 0..3 dims
+  for (std::size_t i = 0; i < dims; ++i) {
+    v.set(static_cast<ParamId>(rng.index(4)), random_value(rng));
+  }
+  return v;
+}
+
+class SatisfyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SatisfyProperty, AgreesWithBruteForce) {
+  util::Rng rng(util::derive_seed(GetParam(), "satisfy-prop", 0));
+  for (int i = 0; i < 500; ++i) {
+    const QosVector out = random_vector(rng);
+    const QosVector in = random_vector(rng);
+    EXPECT_EQ(satisfies(out, in), brute_force_satisfies(out, in))
+        << "out=" << out.to_string() << " in=" << in.to_string();
+    // Consistency with the diagnostic variant.
+    EXPECT_EQ(satisfies(out, in), !first_violation(out, in).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatisfyProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Reflexivity on range vectors: any vector satisfies itself when every
+// dimension is a range or symbol (single values are reflexive too).
+class SatisfyReflexivity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SatisfyReflexivity, VectorsSatisfyThemselves) {
+  util::Rng rng(util::derive_seed(GetParam(), "satisfy-refl", 0));
+  for (int i = 0; i < 200; ++i) {
+    QosVector v;
+    const std::size_t dims = 1 + rng.index(3);
+    for (std::size_t d = 0; d < dims; ++d) {
+      // Exclude the single-vs-single arm? No: equality is reflexive there
+      // as well, so all kinds participate.
+      v.set(static_cast<ParamId>(d), random_value(rng));
+    }
+    // kSingle inputs demand kSingle outputs with equal value: reflexive.
+    // kRange inputs demand containment: a range contains itself.
+    EXPECT_TRUE(satisfies(v, v)) << v.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatisfyReflexivity,
+                         ::testing::Values(11, 12, 13, 14));
+
+// Transitivity of the range arm: if A ⊆ B and B ⊆ C then A ⊆ C.
+TEST(SatisfyProperty, RangeContainmentIsTransitive) {
+  util::Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const double a_lo = rng.uniform(0, 50), a_hi = a_lo + rng.uniform(0, 10);
+    const double b_lo = rng.uniform(0, 50), b_hi = b_lo + rng.uniform(0, 20);
+    const double c_lo = rng.uniform(0, 50), c_hi = c_lo + rng.uniform(0, 40);
+    const auto A = QosValue::range(a_lo, a_hi);
+    const auto B = QosValue::range(b_lo, b_hi);
+    const auto C = QosValue::range(c_lo, c_hi);
+    if (QosValue::satisfies(A, B) && QosValue::satisfies(B, C)) {
+      EXPECT_TRUE(QosValue::satisfies(A, C));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qsa::qos

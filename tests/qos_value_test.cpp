@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "qsa/qos/value.hpp"
+#include "qsa/qos/vector.hpp"
+
+namespace qsa::qos {
+namespace {
+
+// ------------------------------------------------------------- QosValue
+
+TEST(QosValue, SingleAccessors) {
+  const auto v = QosValue::single(42.5);
+  EXPECT_EQ(v.kind(), QosValue::Kind::kSingle);
+  EXPECT_FALSE(v.is_range());
+  EXPECT_DOUBLE_EQ(v.lo(), 42.5);
+  EXPECT_DOUBLE_EQ(v.hi(), 42.5);
+  EXPECT_DOUBLE_EQ(v.representative(), 42.5);
+}
+
+TEST(QosValue, SymbolAccessors) {
+  const auto v = QosValue::symbol(3);
+  EXPECT_EQ(v.kind(), QosValue::Kind::kSymbol);
+  EXPECT_EQ(v.sym(), 3u);
+}
+
+TEST(QosValue, RangeAccessors) {
+  const auto v = QosValue::range(10, 30);
+  EXPECT_TRUE(v.is_range());
+  EXPECT_DOUBLE_EQ(v.lo(), 10);
+  EXPECT_DOUBLE_EQ(v.hi(), 30);
+  EXPECT_DOUBLE_EQ(v.representative(), 20);
+}
+
+TEST(QosValue, DegenerateRangeAllowed) {
+  const auto v = QosValue::range(5, 5);
+  EXPECT_DOUBLE_EQ(v.lo(), 5);
+  EXPECT_DOUBLE_EQ(v.hi(), 5);
+}
+
+TEST(QosValue, Equality) {
+  EXPECT_EQ(QosValue::single(1), QosValue::single(1));
+  EXPECT_FALSE(QosValue::single(1) == QosValue::single(2));
+  EXPECT_EQ(QosValue::symbol(2), QosValue::symbol(2));
+  EXPECT_FALSE(QosValue::symbol(2) == QosValue::symbol(3));
+  EXPECT_EQ(QosValue::range(1, 2), QosValue::range(1, 2));
+  EXPECT_FALSE(QosValue::range(1, 2) == QosValue::range(1, 3));
+  // Different kinds never compare equal, even with identical numerics.
+  EXPECT_FALSE(QosValue::single(1) == QosValue::range(1, 1));
+  EXPECT_FALSE(QosValue::single(0) == QosValue::symbol(0));
+}
+
+// Per-dimension satisfy (eq. 1 arms).
+
+TEST(QosValueSatisfies, SymbolRequiresExactMatch) {
+  EXPECT_TRUE(QosValue::satisfies(QosValue::symbol(1), QosValue::symbol(1)));
+  EXPECT_FALSE(QosValue::satisfies(QosValue::symbol(2), QosValue::symbol(1)));
+  EXPECT_FALSE(QosValue::satisfies(QosValue::single(1), QosValue::symbol(1)));
+  EXPECT_FALSE(QosValue::satisfies(QosValue::range(0, 9), QosValue::symbol(1)));
+}
+
+TEST(QosValueSatisfies, SingleRequiresEquality) {
+  EXPECT_TRUE(QosValue::satisfies(QosValue::single(5), QosValue::single(5)));
+  EXPECT_FALSE(QosValue::satisfies(QosValue::single(6), QosValue::single(5)));
+  // A range output cannot guarantee one exact value.
+  EXPECT_FALSE(QosValue::satisfies(QosValue::range(5, 5), QosValue::single(5)));
+  EXPECT_FALSE(QosValue::satisfies(QosValue::symbol(5), QosValue::single(5)));
+}
+
+TEST(QosValueSatisfies, RangeRequiresContainment) {
+  const auto in = QosValue::range(10, 30);
+  EXPECT_TRUE(QosValue::satisfies(QosValue::range(15, 25), in));
+  EXPECT_TRUE(QosValue::satisfies(QosValue::range(10, 30), in));  // equal ok
+  EXPECT_FALSE(QosValue::satisfies(QosValue::range(5, 25), in));
+  EXPECT_FALSE(QosValue::satisfies(QosValue::range(15, 35), in));
+  EXPECT_FALSE(QosValue::satisfies(QosValue::range(0, 40), in));
+}
+
+TEST(QosValueSatisfies, SingleOutputInsideRangeInput) {
+  const auto in = QosValue::range(10, 30);
+  EXPECT_TRUE(QosValue::satisfies(QosValue::single(20), in));
+  EXPECT_TRUE(QosValue::satisfies(QosValue::single(10), in));
+  EXPECT_TRUE(QosValue::satisfies(QosValue::single(30), in));
+  EXPECT_FALSE(QosValue::satisfies(QosValue::single(31), in));
+  EXPECT_FALSE(QosValue::satisfies(QosValue::symbol(2), in));
+}
+
+TEST(QosValue, StreamFormatting) {
+  std::ostringstream os;
+  os << QosValue::single(3) << ' ' << QosValue::symbol(2) << ' '
+     << QosValue::range(1, 4);
+  EXPECT_EQ(os.str(), "3 sym:2 [1,4]");
+}
+
+// ------------------------------------------------------------ QosVector
+
+TEST(QosVector, EmptyByDefault) {
+  QosVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.dim(), 0u);
+  EXPECT_FALSE(v.get(0).has_value());
+}
+
+TEST(QosVector, SetAndGet) {
+  QosVector v;
+  v.set(3, QosValue::single(7));
+  v.set(1, QosValue::symbol(2));
+  EXPECT_EQ(v.dim(), 2u);
+  ASSERT_TRUE(v.get(3).has_value());
+  EXPECT_EQ(*v.get(3), QosValue::single(7));
+  ASSERT_TRUE(v.get(1).has_value());
+  EXPECT_EQ(*v.get(1), QosValue::symbol(2));
+  EXPECT_FALSE(v.get(2).has_value());
+}
+
+TEST(QosVector, SetReplacesExisting) {
+  QosVector v;
+  v.set(1, QosValue::single(1));
+  v.set(1, QosValue::single(2));
+  EXPECT_EQ(v.dim(), 1u);
+  EXPECT_EQ(*v.get(1), QosValue::single(2));
+}
+
+TEST(QosVector, KeepsDimsSortedByParam) {
+  QosVector v;
+  v.set(5, QosValue::single(1));
+  v.set(2, QosValue::single(1));
+  v.set(9, QosValue::single(1));
+  v.set(1, QosValue::single(1));
+  std::vector<ParamId> order;
+  for (const auto& d : v) order.push_back(d.param);
+  EXPECT_EQ(order, (std::vector<ParamId>{1, 2, 5, 9}));
+}
+
+TEST(QosVector, EqualityIsOrderInsensitive) {
+  QosVector a, b;
+  a.set(1, QosValue::single(1));
+  a.set(2, QosValue::range(0, 5));
+  b.set(2, QosValue::range(0, 5));
+  b.set(1, QosValue::single(1));
+  EXPECT_EQ(a, b);
+  b.set(2, QosValue::range(0, 6));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(QosVector, InequalityOnDifferentDims) {
+  QosVector a, b;
+  a.set(1, QosValue::single(1));
+  EXPECT_FALSE(a == b);
+  b.set(2, QosValue::single(1));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(QosVector, ToStringContainsDims) {
+  QosVector v;
+  v.set(1, QosValue::range(2, 3));
+  const auto s = v.to_string();
+  EXPECT_NE(s.find("p1"), std::string::npos);
+  EXPECT_NE(s.find("[2,3]"), std::string::npos);
+}
+
+TEST(QosVector, HoldsMaxDims) {
+  QosVector v;
+  for (ParamId p = 0; p < kMaxQosDims; ++p) {
+    v.set(p, QosValue::single(static_cast<double>(p)));
+  }
+  EXPECT_EQ(v.dim(), kMaxQosDims);
+  for (ParamId p = 0; p < kMaxQosDims; ++p) {
+    EXPECT_EQ(*v.get(p), QosValue::single(static_cast<double>(p)));
+  }
+}
+
+}  // namespace
+}  // namespace qsa::qos

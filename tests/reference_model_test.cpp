@@ -1,0 +1,217 @@
+// Reference-model fuzzing: long random operation sequences where every qsa
+// data structure is shadowed by a trivially-correct STL model and compared
+// step by step.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "qsa/probe/neighbor_table.hpp"
+#include "qsa/qos/vector.hpp"
+#include "qsa/sim/event_queue.hpp"
+#include "qsa/util/rng.hpp"
+#include "qsa/util/small_vec.hpp"
+
+namespace qsa {
+namespace {
+
+// ---------------------------------------------------------- EventQueue
+
+class EventQueueModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueModel, MatchesSortedReference) {
+  util::Rng rng(util::derive_seed(GetParam(), "eq-model", 0));
+  sim::EventQueue queue;
+  // Reference: ordered multimap (time, seq) -> payload; mimic cancellation.
+  struct Ref {
+    std::int64_t time;
+    std::uint64_t seq;
+    int payload;
+    bool cancelled = false;
+  };
+  std::vector<Ref> ref;
+  std::vector<std::pair<sim::EventHandle, std::size_t>> handles;
+  std::uint64_t seq = 0;
+  std::int64_t now = 0;
+  int fired_payload = -1;
+
+  for (int step = 0; step < 3000; ++step) {
+    const auto action = rng.index(5);
+    if (action <= 2) {  // schedule (most common)
+      const std::int64_t at = now + static_cast<std::int64_t>(rng.index(50));
+      const int payload = static_cast<int>(seq);
+      auto h = queue.schedule(sim::SimTime::millis(at),
+                              [&fired_payload, payload] {
+                                fired_payload = payload;
+                              });
+      ref.push_back(Ref{at, seq, payload});
+      handles.emplace_back(h, ref.size() - 1);
+      ++seq;
+    } else if (action == 3 && !handles.empty()) {  // cancel a random handle
+      const std::size_t i = rng.index(handles.size());
+      queue.cancel(handles[i].first);
+      ref[handles[i].second].cancelled = true;  // may already be fired: ok
+    } else if (!queue.empty()) {  // pop
+      auto fired = queue.pop();
+      fired_payload = -1;
+      fired.action();
+      now = fired.time.as_millis();
+      // The reference pick: earliest (time, seq) among live entries.
+      std::size_t best = ref.size();
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        if (ref[i].cancelled) continue;
+        if (best == ref.size() || ref[i].time < ref[best].time ||
+            (ref[i].time == ref[best].time && ref[i].seq < ref[best].seq)) {
+          best = i;
+        }
+      }
+      ASSERT_LT(best, ref.size());
+      EXPECT_EQ(fired.time.as_millis(), ref[best].time) << "step " << step;
+      EXPECT_EQ(fired_payload, ref[best].payload) << "step " << step;
+      ref[best].cancelled = true;  // consumed
+    }
+    // Size agreement.
+    std::size_t live = 0;
+    for (const auto& r : ref) live += !r.cancelled;
+    ASSERT_EQ(queue.size(), live) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueModel, ::testing::Values(1, 2, 3));
+
+// ----------------------------------------------------------- QosVector
+
+class QosVectorModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QosVectorModel, MatchesMapReference) {
+  util::Rng rng(util::derive_seed(GetParam(), "qv-model", 0));
+  qos::QosVector vec;
+  std::map<qos::ParamId, qos::QosValue> ref;
+  for (int step = 0; step < 500; ++step) {
+    const auto param = static_cast<qos::ParamId>(rng.index(qos::kMaxQosDims));
+    const auto value = rng.bernoulli(0.5)
+                           ? qos::QosValue::single(rng.uniform(0, 10))
+                           : qos::QosValue::range(rng.uniform(0, 5),
+                                                  rng.uniform(5, 10));
+    vec.set(param, value);
+    ref.insert_or_assign(param, value);
+
+    ASSERT_EQ(vec.dim(), ref.size());
+    // Same content, same (sorted) order.
+    auto it = ref.begin();
+    for (const auto& d : vec) {
+      ASSERT_NE(it, ref.end());
+      EXPECT_EQ(d.param, it->first);
+      EXPECT_EQ(d.value, it->second);
+      ++it;
+    }
+    // Point lookups agree.
+    const auto probe_param =
+        static_cast<qos::ParamId>(rng.index(qos::kMaxQosDims));
+    const auto got = vec.get(probe_param);
+    const auto rit = ref.find(probe_param);
+    ASSERT_EQ(got.has_value(), rit != ref.end());
+    if (got) {
+      EXPECT_EQ(*got, rit->second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QosVectorModel, ::testing::Values(1, 2, 3));
+
+// ------------------------------------------------------------ SmallVec
+
+class SmallVecModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SmallVecModel, MatchesVectorReference) {
+  util::Rng rng(util::derive_seed(GetParam(), "sv-model", 0));
+  util::SmallVec<int, 8> sv;
+  std::vector<int> ref;
+  for (int step = 0; step < 2000; ++step) {
+    switch (rng.index(4)) {
+      case 0:
+        if (sv.size() < decltype(sv)::capacity()) {
+          const int v = static_cast<int>(rng.uniform_int(-100, 100));
+          sv.push_back(v);
+          ref.push_back(v);
+        }
+        break;
+      case 1:
+        if (!sv.empty()) {
+          sv.pop_back();
+          ref.pop_back();
+        }
+        break;
+      case 2: {
+        const auto n = rng.index(decltype(sv)::capacity() + 1);
+        const int fill = static_cast<int>(rng.uniform_int(0, 9));
+        sv.resize(n, fill);
+        ref.resize(n, fill);
+        break;
+      }
+      default:
+        if (!sv.empty()) {
+          const std::size_t i = rng.index(sv.size());
+          const int v = static_cast<int>(rng.uniform_int(-100, 100));
+          sv[i] = v;
+          ref[i] = v;
+        }
+        break;
+    }
+    ASSERT_EQ(sv.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(sv[i], ref[i]) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmallVecModel, ::testing::Values(1, 2, 3));
+
+// -------------------------------------------------------- NeighborTable
+
+class NeighborTableModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NeighborTableModel, InvariantsUnderRandomOps) {
+  util::Rng rng(util::derive_seed(GetParam(), "nt-model", 0));
+  constexpr std::size_t kBudget = 12;
+  probe::NeighborTable table(kBudget);
+  sim::SimTime now = sim::SimTime::zero();
+  for (int step = 0; step < 2000; ++step) {
+    now += sim::SimTime::seconds(rng.uniform(0, 30));
+    const auto peer = static_cast<net::PeerId>(rng.index(40));
+    switch (rng.index(4)) {
+      case 0:
+      case 1: {
+        const auto hop = static_cast<std::uint8_t>(1 + rng.index(4));
+        const auto kind = rng.bernoulli(0.5) ? probe::NeighborKind::kDirect
+                                             : probe::NeighborKind::kIndirect;
+        const bool added =
+            table.add(peer, hop, kind, now, sim::SimTime::minutes(30));
+        if (added) {
+          EXPECT_TRUE(table.knows(peer, now));
+        }
+        break;
+      }
+      case 2:
+        table.erase(peer);
+        EXPECT_FALSE(table.knows(peer, now));
+        break;
+      default:
+        table.purge(now);
+        break;
+    }
+    // Invariants: never over budget; knows() == unexpired entry.
+    ASSERT_LE(table.size(), kBudget) << "step " << step;
+    for (const auto& [p, entry] : table.entries()) {
+      EXPECT_EQ(table.knows(p, now), entry.expires > now);
+      EXPECT_GE(entry.hop, 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NeighborTableModel,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace qsa

@@ -1,0 +1,270 @@
+// Dynamic peer selection: the Phi metric and the filter/fallback ladder.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qsa/core/select.hpp"
+
+namespace qsa::core {
+namespace {
+
+using net::PeerId;
+using net::ProbeClock;
+using qos::ResourceVector;
+using sim::SimTime;
+
+registry::ServiceInstance make_instance(double cpu, double mem, double bw) {
+  registry::ServiceInstance inst;
+  inst.resources = ResourceVector{cpu, mem};
+  inst.bandwidth_kbps = bw;
+  return inst;
+}
+
+struct SelectFixture : ::testing::Test {
+  // The fixture's selector puts all weight on end-system resources so the
+  // tests control the ranking; bandwidth-weighted behaviour is covered by
+  // PhiFormula/PhiWeights below.
+  SelectFixture()
+      : peers(qos::ResourceSchema::paper(), ProbeClock(SimTime::seconds(30))),
+        net(1, ProbeClock(SimTime::seconds(30))),
+        table(100),
+        selector(qos::TupleWeights({0.5, 0.5}, 0.0),
+                 qos::ResourceSchema::paper()),
+        rng(7) {
+    me = peers.add_peer(ResourceVector{500, 500}, SimTime::minutes(-100));
+  }
+
+  /// Adds a candidate peer with given capacity and age, optionally known to
+  /// the selector's neighbor table.
+  PeerId add_candidate(double capacity, double age_min, bool known = true) {
+    const PeerId p = peers.add_peer(ResourceVector{capacity, capacity},
+                                    SimTime::minutes(-age_min));
+    if (known) {
+      table.add(p, 1, probe::NeighborKind::kDirect, SimTime::zero(),
+                SimTime::minutes(120));
+    }
+    return p;
+  }
+
+  HopSelection select(const registry::ServiceInstance& inst,
+                      const std::vector<PeerId>& candidates,
+                      SimTime duration = SimTime::minutes(10),
+                      SimTime now = SimTime::zero()) {
+    return selector.select_hop(peers, net, table, me, inst, candidates,
+                               duration, now, rng);
+  }
+
+  net::PeerTable peers;
+  net::NetworkModel net;
+  probe::NeighborTable table;
+  PeerSelector selector;
+  util::Rng rng;
+  PeerId me = 0;
+};
+
+// ------------------------------------------------------------------ Phi
+
+TEST_F(SelectFixture, PhiFormula) {
+  PeerSelector uniform(qos::TupleWeights::uniform(2),
+                       qos::ResourceSchema::paper());
+  const auto inst = make_instance(100, 50, 200);
+  probe::PerfSnapshot snap;
+  snap.alive = true;
+  snap.available = ResourceVector{400, 200};
+  snap.bandwidth_kbps = 1000;
+  // Uniform weights: (1/3)*(400/100) + (1/3)*(200/50) + (1/3)*(1000/200).
+  EXPECT_NEAR(uniform.phi(snap, inst),
+              (400.0 / 100 + 200.0 / 50 + 1000.0 / 200) / 3, 1e-12);
+}
+
+TEST_F(SelectFixture, PhiGrowsWithHeadroom) {
+  PeerSelector uniform(qos::TupleWeights::uniform(2),
+                       qos::ResourceSchema::paper());
+  const auto inst = make_instance(100, 100, 100);
+  probe::PerfSnapshot lean, rich;
+  lean.available = ResourceVector{150, 150};
+  lean.bandwidth_kbps = 150;
+  rich.available = ResourceVector{900, 900};
+  rich.bandwidth_kbps = 5000;
+  EXPECT_GT(uniform.phi(rich, inst), uniform.phi(lean, inst));
+}
+
+TEST(PhiWeights, CustomWeightsShiftRanking) {
+  PeerSelector bw_focused(qos::TupleWeights({0.05, 0.05}, 0.9),
+                          qos::ResourceSchema::paper());
+  PeerSelector cpu_focused(qos::TupleWeights({0.9, 0.05}, 0.05),
+                           qos::ResourceSchema::paper());
+  const auto inst = make_instance(100, 100, 100);
+  probe::PerfSnapshot big_cpu, big_bw;
+  big_cpu.available = qos::ResourceVector{1000, 100};
+  big_cpu.bandwidth_kbps = 100;
+  big_bw.available = qos::ResourceVector{100, 100};
+  big_bw.bandwidth_kbps = 10'000;
+  EXPECT_GT(bw_focused.phi(big_bw, inst), bw_focused.phi(big_cpu, inst));
+  EXPECT_GT(cpu_focused.phi(big_cpu, inst), cpu_focused.phi(big_bw, inst));
+}
+
+// ------------------------------------------------------------ selection
+
+TEST_F(SelectFixture, PicksHighestPhi) {
+  const auto inst = make_instance(50, 50, 50);
+  const auto small = add_candidate(200, 100);
+  const auto big = add_candidate(900, 100);
+  const auto mid = add_candidate(500, 100);
+  const auto sel = select(inst, {small, big, mid});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.peer, big);
+  EXPECT_FALSE(sel.random_fallback);
+}
+
+TEST_F(SelectFixture, UptimeFilterExcludesYoungPeers) {
+  const auto inst = make_instance(50, 50, 50);
+  const auto young_big = add_candidate(900, /*age=*/2);
+  const auto old_small = add_candidate(300, /*age=*/60);
+  const auto sel = select(inst, {young_big, old_small},
+                          /*duration=*/SimTime::minutes(30));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.peer, old_small);  // the young peer fails the uptime match
+}
+
+TEST_F(SelectFixture, UptimeFilterRelaxedWhenNobodyQualifies) {
+  const auto inst = make_instance(50, 50, 50);
+  const auto young_a = add_candidate(900, 2);
+  const auto young_b = add_candidate(300, 2);
+  const auto sel = select(inst, {young_a, young_b},
+                          /*duration=*/SimTime::minutes(30));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.peer, young_a);  // best effort: highest Phi among survivors
+}
+
+TEST_F(SelectFixture, ResourceFilterExcludesOverloaded) {
+  const auto inst = make_instance(50, 50, 50);
+  const auto busy = add_candidate(900, 100);
+  const auto idle = add_candidate(200, 100);
+  // Saturate `busy` in a *previous* epoch so probes see it.
+  ASSERT_TRUE(peers.try_reserve(busy, ResourceVector{880, 880},
+                                SimTime::minutes(-5)));
+  const auto sel = select(inst, {busy, idle});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.peer, idle);
+}
+
+TEST_F(SelectFixture, StaleProbeHidesFreshLoad) {
+  const auto inst = make_instance(50, 50, 50);
+  const auto busy = add_candidate(900, 100);
+  const auto idle = add_candidate(200, 100);
+  // Saturate `busy` within the *current* epoch: probers cannot see it yet,
+  // so selection still prefers it (and admission would later fail) —
+  // exactly the distributed-staleness behaviour the model is built around.
+  ASSERT_TRUE(peers.try_reserve(busy, ResourceVector{880, 880},
+                                SimTime::seconds(5)));
+  const auto sel =
+      select(inst, {busy, idle}, SimTime::minutes(10), SimTime::seconds(10));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.peer, busy);
+}
+
+TEST_F(SelectFixture, BandwidthFilterApplies) {
+  const auto inst = make_instance(10, 10, 2000);  // needs 2 Mbps
+  // Find candidates whose pair bandwidth to `me` differs.
+  std::vector<PeerId> slow, fast;
+  for (int i = 0; i < 200 && (slow.empty() || fast.empty()); ++i) {
+    const PeerId p = add_candidate(900, 100);
+    if (net.capacity_kbps(p, me) >= 2000) {
+      if (fast.empty()) fast.push_back(p);
+    } else if (slow.empty()) {
+      slow.push_back(p);
+    }
+  }
+  ASSERT_FALSE(slow.empty());
+  ASSERT_FALSE(fast.empty());
+  const auto sel = select(inst, {slow[0], fast[0]});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.peer, fast[0]);
+}
+
+TEST_F(SelectFixture, DeadCandidatesSkippedAfterEpoch) {
+  const auto inst = make_instance(50, 50, 50);
+  const auto dead = add_candidate(900, 100);
+  const auto alive = add_candidate(200, 100);
+  peers.remove_peer(dead, SimTime::zero());
+  const auto sel =
+      select(inst, {dead, alive}, SimTime::minutes(10), SimTime::minutes(1));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.peer, alive);
+}
+
+TEST_F(SelectFixture, UnknownCandidatesUseRandomFallback) {
+  const auto inst = make_instance(50, 50, 50);
+  const auto u1 = add_candidate(500, 100, /*known=*/false);
+  const auto u2 = add_candidate(500, 100, /*known=*/false);
+  const auto sel = select(inst, {u1, u2});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(sel.random_fallback);
+  EXPECT_TRUE(sel.peer == u1 || sel.peer == u2);
+}
+
+TEST_F(SelectFixture, KnownQualifiedBeatsUnknown) {
+  const auto inst = make_instance(50, 50, 50);
+  const auto unknown = add_candidate(900, 100, /*known=*/false);
+  const auto known = add_candidate(300, 100, /*known=*/true);
+  const auto sel = select(inst, {unknown, known});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.peer, known);
+  EXPECT_FALSE(sel.random_fallback);
+}
+
+TEST_F(SelectFixture, FallsBackToUnknownWhenKnownUnqualified) {
+  const auto inst = make_instance(50, 50, 50);
+  const auto overloaded = add_candidate(100, 100, /*known=*/true);
+  ASSERT_TRUE(peers.try_reserve(overloaded, ResourceVector{90, 90},
+                                SimTime::minutes(-5)));
+  const auto unknown = add_candidate(500, 100, /*known=*/false);
+  const auto sel = select(inst, {overloaded, unknown});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.peer, unknown);
+  EXPECT_TRUE(sel.random_fallback);
+}
+
+TEST_F(SelectFixture, HopFailsWhenNothingWorkable) {
+  const auto inst = make_instance(50, 50, 50);
+  const auto overloaded = add_candidate(100, 100, /*known=*/true);
+  ASSERT_TRUE(peers.try_reserve(overloaded, ResourceVector{90, 90},
+                                SimTime::minutes(-5)));
+  const auto sel = select(inst, {overloaded});
+  EXPECT_FALSE(sel.ok());
+}
+
+TEST_F(SelectFixture, AblationDisablesUptimeFilter) {
+  PeerSelector no_uptime(qos::TupleWeights({0.5, 0.5}, 0.0),
+                         qos::ResourceSchema::paper(),
+                         SelectorOptions{.use_uptime_filter = false});
+  const auto inst = make_instance(50, 50, 50);
+  const auto young_big = add_candidate(900, 2);
+  const auto old_small = add_candidate(300, 60);
+  const auto sel = no_uptime.select_hop(
+      peers, net, table, me, inst, std::vector<PeerId>{young_big, old_small},
+      SimTime::minutes(30), SimTime::zero(), rng);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.peer, young_big);  // uptime ignored, Phi wins
+}
+
+TEST_F(SelectFixture, DeterministicTieBreakByPeerId) {
+  const auto inst = make_instance(50, 50, 50);
+  // Identical capacity and age; Phi differs only via pair bandwidth, so pick
+  // two with equal bandwidth to force a tie.
+  std::vector<PeerId> twins;
+  PeerId first = add_candidate(400, 100);
+  const double bw = net.capacity_kbps(first, me);
+  twins.push_back(first);
+  while (twins.size() < 2) {
+    const PeerId p = add_candidate(400, 100);
+    if (net.capacity_kbps(p, me) == bw) twins.push_back(p);
+  }
+  const auto sel = select(inst, twins);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.peer, std::min(twins[0], twins[1]));
+}
+
+}  // namespace
+}  // namespace qsa::core

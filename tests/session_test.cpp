@@ -1,0 +1,329 @@
+// Session manager: all-or-nothing admission, precise release, departure
+// aborts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qsa/session/manager.hpp"
+
+namespace qsa::session {
+namespace {
+
+using core::FailureCause;
+using net::PeerId;
+using net::ProbeClock;
+using qos::ResourceVector;
+using sim::SimTime;
+
+struct SessionFixture : ::testing::Test {
+  SessionFixture()
+      : peers(qos::ResourceSchema::paper(), ProbeClock(SimTime::seconds(30))),
+        net(1, ProbeClock(SimTime::seconds(30))),
+        manager(simulator, peers, net, catalog) {
+    requester = peers.add_peer(ResourceVector{500, 500}, SimTime::zero());
+    const auto svc = catalog.add_service("svc");
+    registry::ServiceInstance inst;
+    inst.service = svc;
+    inst.resources = ResourceVector{100, 100};
+    inst.bandwidth_kbps = 10;  // below the 56 kbps minimum link level
+    instance = catalog.add_instance(inst);
+
+    manager.set_outcome_callback(
+        [this](const Session& s, FailureCause cause) {
+          outcomes.emplace_back(s.id, cause);
+        });
+  }
+
+  PeerId add_host(double capacity = 500) {
+    return peers.add_peer(ResourceVector{capacity, capacity}, SimTime::zero());
+  }
+
+  core::ServiceRequest make_request(SimTime duration = SimTime::minutes(10)) {
+    core::ServiceRequest req;
+    req.requester = requester;
+    req.abstract_path = {0};
+    req.session_duration = duration;
+    return req;
+  }
+
+  core::AggregationPlan make_plan(std::vector<PeerId> hosts) {
+    core::AggregationPlan plan;
+    plan.instances.assign(hosts.size(), instance);
+    plan.hosts = std::move(hosts);
+    return plan;
+  }
+
+  sim::Simulator simulator;
+  net::PeerTable peers;
+  net::NetworkModel net;
+  registry::ServiceCatalog catalog;
+  SessionManager manager;
+  PeerId requester = 0;
+  registry::InstanceId instance = 0;
+  std::vector<std::pair<SessionId, FailureCause>> outcomes;
+};
+
+TEST_F(SessionFixture, AdmissionReservesResources) {
+  const auto h = add_host();
+  ASSERT_EQ(manager.start_session(make_request(), make_plan({h})),
+            FailureCause::kNone);
+  EXPECT_EQ(peers.peer(h).available(), (ResourceVector{400, 400}));
+  EXPECT_EQ(manager.active_sessions(), 1u);
+  EXPECT_EQ(manager.stats().admitted, 1u);
+  EXPECT_LT(net.available_kbps(h, requester), net.capacity_kbps(h, requester));
+}
+
+TEST_F(SessionFixture, CompletionReleasesEverything) {
+  const auto h = add_host();
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(5)),
+                                  make_plan({h})),
+            FailureCause::kNone);
+  simulator.run_until(SimTime::minutes(6));
+  EXPECT_EQ(peers.peer(h).available(), (ResourceVector{500, 500}));
+  EXPECT_DOUBLE_EQ(net.available_kbps(h, requester),
+                   net.capacity_kbps(h, requester));
+  EXPECT_EQ(manager.active_sessions(), 0u);
+  EXPECT_EQ(manager.stats().completed, 1u);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].second, FailureCause::kNone);
+}
+
+TEST_F(SessionFixture, InsufficientResourcesRejectedWithRollback) {
+  const auto big = add_host(500);
+  const auto small = add_host(150);
+  // Two instances on `small` exceed its capacity; `big`'s partial
+  // reservation must be rolled back.
+  const auto cause = manager.start_session(
+      make_request(), make_plan({big, small, small}));
+  EXPECT_EQ(cause, FailureCause::kAdmission);
+  EXPECT_EQ(peers.peer(big).available(), (ResourceVector{500, 500}));
+  EXPECT_EQ(peers.peer(small).available(), (ResourceVector{150, 150}));
+  EXPECT_EQ(manager.active_sessions(), 0u);
+  EXPECT_EQ(manager.stats().rejected, 1u);
+  EXPECT_TRUE(outcomes.empty());  // setup failures never reach the callback
+}
+
+TEST_F(SessionFixture, BandwidthShortageRejects) {
+  // Find a 56 kbps pair and demand more than it has.
+  registry::ServiceInstance fat;
+  fat.service = 0;
+  fat.resources = ResourceVector{1, 1};
+  fat.bandwidth_kbps = 400;
+  const auto fat_id = catalog.add_instance(fat);
+
+  PeerId h = add_host();
+  while (net.capacity_kbps(h, requester) > 100) h = add_host();
+  core::AggregationPlan plan;
+  plan.instances = {fat_id};
+  plan.hosts = {h};
+  EXPECT_EQ(manager.start_session(make_request(), plan),
+            FailureCause::kAdmission);
+  EXPECT_EQ(peers.peer(h).available(), (ResourceVector{500, 500}));
+}
+
+TEST_F(SessionFixture, MultiHopReservesEveryEdge) {
+  const auto h1 = add_host();
+  const auto h2 = add_host();
+  ASSERT_EQ(manager.start_session(make_request(), make_plan({h1, h2})),
+            FailureCause::kNone);
+  // Edges: h1 -> h2 and h2 -> requester.
+  EXPECT_LT(net.available_kbps(h1, h2), net.capacity_kbps(h1, h2));
+  EXPECT_LT(net.available_kbps(h2, requester),
+            net.capacity_kbps(h2, requester));
+}
+
+TEST_F(SessionFixture, SamePeerTwiceStacksReservations) {
+  const auto h = add_host(500);
+  ASSERT_EQ(manager.start_session(make_request(), make_plan({h, h})),
+            FailureCause::kNone);
+  EXPECT_EQ(peers.peer(h).available(), (ResourceVector{300, 300}));
+}
+
+TEST_F(SessionFixture, HostDepartureAbortsSession) {
+  const auto h1 = add_host();
+  const auto h2 = add_host();
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(30)),
+                                  make_plan({h1, h2})),
+            FailureCause::kNone);
+  simulator.run_until(SimTime::minutes(1));
+  manager.peer_departed(h1);
+  peers.remove_peer(h1, simulator.now());
+  EXPECT_EQ(manager.active_sessions(), 0u);
+  EXPECT_EQ(manager.stats().aborted, 1u);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].second, FailureCause::kDeparture);
+  // The surviving host's resources come back.
+  EXPECT_EQ(peers.peer(h2).available(), (ResourceVector{500, 500}));
+  // The scheduled end event must not fire later.
+  simulator.run_until(SimTime::minutes(40));
+  EXPECT_EQ(manager.stats().completed, 0u);
+  EXPECT_EQ(outcomes.size(), 1u);
+}
+
+TEST_F(SessionFixture, RequesterDepartureAbortsSession) {
+  const auto h = add_host();
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(30)),
+                                  make_plan({h})),
+            FailureCause::kNone);
+  manager.peer_departed(requester);
+  EXPECT_EQ(manager.active_sessions(), 0u);
+  EXPECT_EQ(manager.stats().aborted, 1u);
+}
+
+TEST_F(SessionFixture, UnrelatedDepartureLeavesSessionAlone) {
+  const auto h = add_host();
+  const auto stranger = add_host();
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(30)),
+                                  make_plan({h})),
+            FailureCause::kNone);
+  manager.peer_departed(stranger);
+  EXPECT_EQ(manager.active_sessions(), 1u);
+  EXPECT_EQ(manager.stats().aborted, 0u);
+}
+
+TEST_F(SessionFixture, DepartureAbortsAllResidentSessions) {
+  const auto shared = add_host(500);
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(30)),
+                                  make_plan({shared})),
+            FailureCause::kNone);
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(30)),
+                                  make_plan({shared})),
+            FailureCause::kNone);
+  EXPECT_EQ(manager.active_sessions(), 2u);
+  manager.peer_departed(shared);
+  EXPECT_EQ(manager.active_sessions(), 0u);
+  EXPECT_EQ(manager.stats().aborted, 2u);
+}
+
+TEST_F(SessionFixture, ConcurrentSessionsSaturateThenFreeCapacity) {
+  const auto h = add_host(500);  // fits 5 instances of 100 units
+  int admitted = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (manager.start_session(make_request(SimTime::minutes(5)),
+                              make_plan({h})) == FailureCause::kNone) {
+      ++admitted;
+    }
+  }
+  EXPECT_EQ(admitted, 5);
+  EXPECT_EQ(manager.stats().rejected, 3u);
+  simulator.run_until(SimTime::minutes(6));
+  // Everything released; capacity is reusable.
+  EXPECT_EQ(manager.start_session(make_request(), make_plan({h})),
+            FailureCause::kNone);
+}
+
+// ----------------------------------------------------- departure recovery
+
+TEST_F(SessionFixture, RecoveryMigratesSessionToReplacement) {
+  const auto h = add_host();
+  const auto spare = add_host();
+  manager.set_recovery([&](const Session&, std::size_t, PeerId) {
+    return spare;
+  });
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(30)),
+                                  make_plan({h})),
+            FailureCause::kNone);
+  manager.peer_departed(h);
+  peers.remove_peer(h, simulator.now());
+  // The session survives on the spare host, with the reservation migrated.
+  EXPECT_EQ(manager.active_sessions(), 1u);
+  EXPECT_EQ(manager.stats().recovered, 1u);
+  EXPECT_EQ(manager.stats().aborted, 0u);
+  EXPECT_EQ(peers.peer(spare).available(), (ResourceVector{400, 400}));
+  // And still completes at its scheduled end.
+  simulator.run_until(SimTime::minutes(31));
+  EXPECT_EQ(manager.stats().completed, 1u);
+  EXPECT_EQ(peers.peer(spare).available(), (ResourceVector{500, 500}));
+}
+
+TEST_F(SessionFixture, RecoveryRewiresLinks) {
+  const auto h1 = add_host();
+  const auto h2 = add_host();
+  const auto spare = add_host();
+  manager.set_recovery([&](const Session&, std::size_t, PeerId) {
+    return spare;
+  });
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(30)),
+                                  make_plan({h1, h2})),
+            FailureCause::kNone);
+  manager.peer_departed(h1);
+  peers.remove_peer(h1, simulator.now());
+  ASSERT_EQ(manager.stats().recovered, 1u);
+  // New edge spare -> h2 carries the reservation; old edge h1 -> h2 is free.
+  EXPECT_LT(net.available_kbps(spare, h2), net.capacity_kbps(spare, h2));
+  EXPECT_DOUBLE_EQ(net.available_kbps(h1, h2), net.capacity_kbps(h1, h2));
+}
+
+TEST_F(SessionFixture, RecoveryDeclinedAbortsSession) {
+  const auto h = add_host();
+  manager.set_recovery(
+      [](const Session&, std::size_t, PeerId) { return net::kNoPeer; });
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(30)),
+                                  make_plan({h})),
+            FailureCause::kNone);
+  manager.peer_departed(h);
+  EXPECT_EQ(manager.stats().recovered, 0u);
+  EXPECT_EQ(manager.stats().aborted, 1u);
+  EXPECT_EQ(manager.active_sessions(), 0u);
+}
+
+TEST_F(SessionFixture, RecoveryFailsWhenReplacementIsFull) {
+  const auto h = add_host();
+  const auto tiny = add_host(50);  // cannot fit the 100-unit instance
+  manager.set_recovery([&](const Session&, std::size_t, PeerId) {
+    return tiny;
+  });
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(30)),
+                                  make_plan({h})),
+            FailureCause::kNone);
+  manager.peer_departed(h);
+  EXPECT_EQ(manager.stats().aborted, 1u);
+  EXPECT_EQ(peers.peer(tiny).available(), (ResourceVector{50, 50}));
+}
+
+TEST_F(SessionFixture, RequesterDepartureNotRecoverable) {
+  const auto h = add_host();
+  const auto spare = add_host();
+  manager.set_recovery([&](const Session&, std::size_t, PeerId) {
+    return spare;
+  });
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(30)),
+                                  make_plan({h})),
+            FailureCause::kNone);
+  manager.peer_departed(requester);
+  EXPECT_EQ(manager.stats().aborted, 1u);
+  EXPECT_EQ(manager.stats().recovered, 0u);
+}
+
+TEST_F(SessionFixture, RecoveredSessionSurvivesSecondDeparture) {
+  const auto h = add_host();
+  const auto spare1 = add_host();
+  const auto spare2 = add_host();
+  int calls = 0;
+  manager.set_recovery([&](const Session&, std::size_t, PeerId) {
+    return ++calls == 1 ? spare1 : spare2;
+  });
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(30)),
+                                  make_plan({h})),
+            FailureCause::kNone);
+  manager.peer_departed(h);
+  peers.remove_peer(h, simulator.now());
+  manager.peer_departed(spare1);
+  peers.remove_peer(spare1, simulator.now());
+  EXPECT_EQ(manager.stats().recovered, 2u);
+  EXPECT_EQ(manager.active_sessions(), 1u);
+  EXPECT_EQ(peers.peer(spare2).available(), (ResourceVector{400, 400}));
+}
+
+TEST_F(SessionFixture, LastSessionIdTracksAdmissions) {
+  const auto h = add_host();
+  ASSERT_EQ(manager.start_session(make_request(), make_plan({h})),
+            FailureCause::kNone);
+  const auto first = manager.last_session_id();
+  ASSERT_EQ(manager.start_session(make_request(), make_plan({h})),
+            FailureCause::kNone);
+  EXPECT_EQ(manager.last_session_id(), first + 1);
+}
+
+}  // namespace
+}  // namespace qsa::session

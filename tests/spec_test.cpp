@@ -1,0 +1,163 @@
+// The textual request front end: abstract-path and QoS-requirement parsing.
+#include <gtest/gtest.h>
+
+#include "qsa/qos/satisfy.hpp"
+#include "qsa/registry/spec.hpp"
+
+namespace qsa::registry {
+namespace {
+
+struct SpecFixture : ::testing::Test {
+  SpecFixture() {
+    server = catalog.add_service("video-server");
+    trans = catalog.add_service("transcoder");
+    player = catalog.add_service("video-player");
+  }
+  ServiceCatalog catalog;
+  ServiceId server = 0, trans = 0, player = 0;
+  util::Interner params;
+  util::Interner symbols;
+};
+
+// ------------------------------------------------------- abstract paths
+
+TEST_F(SpecFixture, ParsesThreeHopPath) {
+  const auto r = parse_abstract_path(
+      "video-server -> transcoder -> video-player", catalog);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.value, (std::vector<ServiceId>{server, trans, player}));
+}
+
+TEST_F(SpecFixture, WhitespaceInsensitive) {
+  const auto r =
+      parse_abstract_path("video-server->transcoder  ->   video-player",
+                          catalog);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.value.size(), 3u);
+}
+
+TEST_F(SpecFixture, SingleServicePath) {
+  const auto r = parse_abstract_path("video-player", catalog);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.value, (std::vector<ServiceId>{player}));
+}
+
+TEST_F(SpecFixture, UnknownServiceReported) {
+  const auto r = parse_abstract_path("video-server -> enhancer", catalog);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("enhancer"), std::string::npos);
+}
+
+TEST_F(SpecFixture, EmptyPathRejected) {
+  EXPECT_FALSE(parse_abstract_path("", catalog).ok());
+  EXPECT_FALSE(parse_abstract_path("   ", catalog).ok());
+}
+
+TEST_F(SpecFixture, DanglingArrowRejected) {
+  EXPECT_FALSE(parse_abstract_path("video-server ->", catalog).ok());
+  EXPECT_FALSE(parse_abstract_path("-> video-server", catalog).ok());
+}
+
+TEST_F(SpecFixture, MalformedNameRejected) {
+  EXPECT_FALSE(parse_abstract_path("video server", catalog).ok());
+}
+
+TEST_F(SpecFixture, FormatRoundTrips) {
+  const std::vector<ServiceId> path{server, trans, player};
+  const auto text = format_abstract_path(path, catalog);
+  EXPECT_EQ(text, "video-server -> transcoder -> video-player");
+  const auto back = parse_abstract_path(text, catalog);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value, path);
+}
+
+// --------------------------------------------------------- requirements
+
+TEST_F(SpecFixture, ParsesRangeClause) {
+  const auto r = parse_requirement("level in [70, 100]", params, symbols);
+  ASSERT_TRUE(r.ok()) << r.error;
+  const auto v = r.value.get(params.find("level"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, qos::QosValue::range(70, 100));
+}
+
+TEST_F(SpecFixture, ParsesSymbolClause) {
+  const auto r = parse_requirement("format = MPEG", params, symbols);
+  ASSERT_TRUE(r.ok()) << r.error;
+  const auto v = r.value.get(params.find("format"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, qos::QosValue::symbol(symbols.find("MPEG")));
+}
+
+TEST_F(SpecFixture, ParsesNumericClause) {
+  const auto r = parse_requirement("resolution = 480", params, symbols);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(*r.value.get(params.find("resolution")), qos::QosValue::single(480));
+}
+
+TEST_F(SpecFixture, ParsesMultipleClauses) {
+  const auto r = parse_requirement("level in [40,100]; format = MPEG",
+                                   params, symbols);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.value.dim(), 2u);
+}
+
+TEST_F(SpecFixture, CommaSeparatorOutsideBrackets) {
+  const auto r = parse_requirement("format = MPEG, frame_rate in [10, 30]",
+                                   params, symbols);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.value.dim(), 2u);
+  EXPECT_EQ(*r.value.get(params.find("frame_rate")),
+            qos::QosValue::range(10, 30));
+}
+
+TEST_F(SpecFixture, EmptyRequirementIsUnconstrained) {
+  const auto r = parse_requirement("", params, symbols);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value.empty());
+}
+
+TEST_F(SpecFixture, InvertedRangeRejected) {
+  EXPECT_FALSE(parse_requirement("level in [90, 10]", params, symbols).ok());
+}
+
+TEST_F(SpecFixture, MalformedRangeRejected) {
+  EXPECT_FALSE(parse_requirement("level in [10]", params, symbols).ok());
+  EXPECT_FALSE(parse_requirement("level in 10,20", params, symbols).ok());
+  EXPECT_FALSE(parse_requirement("level in [a, b]", params, symbols).ok());
+}
+
+TEST_F(SpecFixture, MissingOperatorRejected) {
+  const auto r = parse_requirement("just_a_name", params, symbols);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("just_a_name"), std::string::npos);
+}
+
+TEST_F(SpecFixture, MalformedValueRejected) {
+  EXPECT_FALSE(parse_requirement("format = a b", params, symbols).ok());
+}
+
+TEST_F(SpecFixture, LaterClauseOverridesEarlier) {
+  const auto r = parse_requirement("level in [0,50]; level in [60,90]",
+                                   params, symbols);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value.get(params.find("level")), qos::QosValue::range(60, 90));
+}
+
+TEST_F(SpecFixture, ParsedRequirementDrivesSatisfy) {
+  // A parsed requirement behaves exactly like a hand-built one.
+  const auto req =
+      parse_requirement("level in [60, 100]; format = H261", params, symbols);
+  ASSERT_TRUE(req.ok());
+  qos::QosVector out;
+  out.set(params.find("level"), qos::QosValue::range(70, 80));
+  out.set(params.find("format"),
+          qos::QosValue::symbol(symbols.find("H261")));
+  EXPECT_TRUE(qos::satisfies(out, req.value));
+  qos::QosVector bad = out;
+  bad.set(params.find("level"), qos::QosValue::range(40, 80));
+  EXPECT_FALSE(qos::satisfies(bad, req.value));
+}
+
+}  // namespace
+}  // namespace qsa::registry

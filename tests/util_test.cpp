@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "qsa/util/flags.hpp"
+#include "qsa/util/interner.hpp"
+#include "qsa/util/rng.hpp"
+#include "qsa/util/small_vec.hpp"
+#include "qsa/util/thread_pool.hpp"
+
+namespace qsa::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(99);
+  double sum = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(1);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit in 1000 draws
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = rng.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(Rng, IndexIsUnbiasedAcrossSmallRange) {
+  Rng rng(2024);
+  constexpr std::size_t kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.index(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(7);
+  double sum = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / kN, 2.5, 0.1);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential(0.001), 0.0);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(3.0, 1.5), 3.0);
+}
+
+TEST(Rng, ParetoIsHeavyTailed) {
+  Rng rng(10);
+  // With shape 1.1, the max of many draws dwarfs the median.
+  std::vector<double> xs;
+  for (int i = 0; i < 10'000; ++i) xs.push_back(rng.pareto(1.0, 1.1));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_GT(xs.back(), 20 * xs[xs.size() / 2]);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(std::span<int>(v));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(12);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  rng.shuffle(std::span<int>(v));
+  int moved = 0;
+  for (int i = 0; i < 50; ++i) moved += (v[static_cast<std::size_t>(i)] != i);
+  EXPECT_GT(moved, 30);
+}
+
+TEST(Rng, PickReturnsMember) {
+  Rng rng(13);
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int x = rng.pick(std::span<const int>(v));
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+// ------------------------------------------------------------ seeding
+
+TEST(DeriveSeed, StableAndDistinct) {
+  const auto a = derive_seed(1, "peer", 5);
+  EXPECT_EQ(a, derive_seed(1, "peer", 5));
+  EXPECT_NE(a, derive_seed(1, "peer", 6));
+  EXPECT_NE(a, derive_seed(2, "peer", 5));
+  EXPECT_NE(a, derive_seed(1, "link", 5));
+  EXPECT_NE(a, derive_seed(1, "peer", 5, 1));
+}
+
+TEST(DeriveSeed, StreamsAreIndependent) {
+  Rng a(derive_seed(1, "x", 0));
+  Rng b(derive_seed(1, "x", 1));
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Mix64, AvalanchesSingleBit) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const auto base = mix64(0x1234'5678'9abc'def0ull);
+  const auto flipped = mix64(0x1234'5678'9abc'def1ull);
+  EXPECT_GT(__builtin_popcountll(base ^ flipped), 16);
+}
+
+TEST(HashStr, DistinguishesStrings) {
+  EXPECT_NE(hash_str("cpu"), hash_str("mem"));
+  EXPECT_EQ(hash_str("cpu"), hash_str("cpu"));
+  EXPECT_NE(hash_str(""), hash_str("a"));
+}
+
+// ----------------------------------------------------------- SmallVec
+
+TEST(SmallVec, StartsEmpty) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ((SmallVec<int, 4>::capacity()), 4u);
+}
+
+TEST(SmallVec, PushAndIndex) {
+  SmallVec<int, 4> v;
+  v.push_back(10);
+  v.push_back(20);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 20);
+  EXPECT_EQ(v.front(), 10);
+  EXPECT_EQ(v.back(), 20);
+}
+
+TEST(SmallVec, InitializerList) {
+  SmallVec<int, 4> v{1, 2, 3};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(SmallVec, FillConstructor) {
+  SmallVec<double, 4> v(3, 1.5);
+  EXPECT_EQ(v.size(), 3u);
+  for (double x : v) EXPECT_EQ(x, 1.5);
+}
+
+TEST(SmallVec, PopAndClear) {
+  SmallVec<int, 4> v{1, 2};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 1u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVec, ResizeGrowsWithFill) {
+  SmallVec<int, 4> v{1};
+  v.resize(3, 9);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 9);
+  EXPECT_EQ(v[2], 9);
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 1);
+}
+
+TEST(SmallVec, Equality) {
+  SmallVec<int, 4> a{1, 2}, b{1, 2}, c{1, 3}, d{1};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(SmallVec, IterationOrder) {
+  SmallVec<int, 8> v{5, 6, 7};
+  int expected = 5;
+  for (int x : v) EXPECT_EQ(x, expected++);
+}
+
+// ----------------------------------------------------------- Interner
+
+TEST(Interner, AssignsDenseIds) {
+  Interner in;
+  EXPECT_EQ(in.intern("format"), 0u);
+  EXPECT_EQ(in.intern("level"), 1u);
+  EXPECT_EQ(in.intern("format"), 0u);  // idempotent
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(Interner, FindWithoutInsert) {
+  Interner in;
+  in.intern("a");
+  EXPECT_EQ(in.find("a"), 0u);
+  EXPECT_EQ(in.find("missing"), Interner::kInvalid);
+}
+
+TEST(Interner, RoundTripsNames) {
+  Interner in;
+  const auto id = in.intern("frame_rate");
+  EXPECT_EQ(in.name(id), "frame_rate");
+}
+
+// -------------------------------------------------------------- Flags
+
+TEST(Flags, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--rate=250"};
+  Flags f(2, argv);
+  EXPECT_EQ(f.get_int("rate", 0), 250);
+}
+
+TEST(Flags, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--rate", "300"};
+  Flags f(3, argv);
+  EXPECT_EQ(f.get_int("rate", 0), 300);
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--verbose"};
+  Flags f(2, argv);
+  EXPECT_TRUE(f.get_bool("verbose", false));
+}
+
+TEST(Flags, DefaultWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags f(1, argv);
+  EXPECT_EQ(f.get_int("missing", 17), 17);
+  EXPECT_EQ(f.get("name", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(f.get_double("x", 2.5), 2.5);
+  EXPECT_FALSE(f.get_bool("b", false));
+}
+
+TEST(Flags, EnvironmentFallback) {
+  ::setenv("QSA_FROM_ENV", "123", 1);
+  const char* argv[] = {"prog"};
+  Flags f(1, argv);
+  EXPECT_EQ(f.get_int("from-env", 0), 123);
+  ::unsetenv("QSA_FROM_ENV");
+}
+
+TEST(Flags, CliBeatsEnvironment) {
+  ::setenv("QSA_RATE", "1", 1);
+  const char* argv[] = {"prog", "--rate=2"};
+  Flags f(2, argv);
+  EXPECT_EQ(f.get_int("rate", 0), 2);
+  ::unsetenv("QSA_RATE");
+}
+
+TEST(Flags, PositionalArguments) {
+  const char* argv[] = {"prog", "alpha", "--k=1", "beta"};
+  Flags f(4, argv);
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "alpha");
+  EXPECT_EQ(f.positional()[1], "beta");
+}
+
+TEST(Flags, HelpDetected) {
+  const char* argv[] = {"prog", "--help"};
+  Flags f(2, argv);
+  EXPECT_TRUE(f.help());
+}
+
+TEST(Flags, BoolSpellings) {
+  const char* argv[] = {"prog", "--a=1", "--b=true", "--c=yes", "--d=off"};
+  Flags f(5, argv);
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_TRUE(f.get_bool("b", false));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+}
+
+TEST(ParseDoubleList, Basic) {
+  const auto v = parse_double_list("50,100,200.5");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 50);
+  EXPECT_DOUBLE_EQ(v[1], 100);
+  EXPECT_DOUBLE_EQ(v[2], 200.5);
+}
+
+TEST(ParseDoubleList, EmptyAndSingleton) {
+  EXPECT_TRUE(parse_double_list("").empty());
+  const auto v = parse_double_list("7");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 7);
+}
+
+// --------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, SizeReflectsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace qsa::util
