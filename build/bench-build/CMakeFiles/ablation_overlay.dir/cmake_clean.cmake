@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_overlay"
+  "../bench/ablation_overlay.pdb"
+  "CMakeFiles/ablation_overlay.dir/ablation_overlay.cpp.o"
+  "CMakeFiles/ablation_overlay.dir/ablation_overlay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_path_length"
+  "../bench/ablation_path_length.pdb"
+  "CMakeFiles/ablation_path_length.dir/ablation_path_length.cpp.o"
+  "CMakeFiles/ablation_path_length.dir/ablation_path_length.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_path_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_probe_budget"
+  "../bench/ablation_probe_budget.pdb"
+  "CMakeFiles/ablation_probe_budget.dir/ablation_probe_budget.cpp.o"
+  "CMakeFiles/ablation_probe_budget.dir/ablation_probe_budget.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probe_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

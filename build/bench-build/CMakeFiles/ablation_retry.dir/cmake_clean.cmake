@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_retry"
+  "../bench/ablation_retry.pdb"
+  "CMakeFiles/ablation_retry.dir/ablation_retry.cpp.o"
+  "CMakeFiles/ablation_retry.dir/ablation_retry.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_retry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_staleness"
+  "../bench/ablation_staleness.pdb"
+  "CMakeFiles/ablation_staleness.dir/ablation_staleness.cpp.o"
+  "CMakeFiles/ablation_staleness.dir/ablation_staleness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

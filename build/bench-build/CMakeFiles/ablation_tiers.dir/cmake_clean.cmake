@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tiers"
+  "../bench/ablation_tiers.pdb"
+  "CMakeFiles/ablation_tiers.dir/ablation_tiers.cpp.o"
+  "CMakeFiles/ablation_tiers.dir/ablation_tiers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

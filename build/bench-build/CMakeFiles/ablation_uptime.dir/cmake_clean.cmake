@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_uptime"
+  "../bench/ablation_uptime.pdb"
+  "CMakeFiles/ablation_uptime.dir/ablation_uptime.cpp.o"
+  "CMakeFiles/ablation_uptime.dir/ablation_uptime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uptime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_success_vs_rate"
+  "../bench/fig5_success_vs_rate.pdb"
+  "CMakeFiles/fig5_success_vs_rate.dir/fig5_success_vs_rate.cpp.o"
+  "CMakeFiles/fig5_success_vs_rate.dir/fig5_success_vs_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_success_vs_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

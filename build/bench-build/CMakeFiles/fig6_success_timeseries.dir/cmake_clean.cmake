@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_success_timeseries"
+  "../bench/fig6_success_timeseries.pdb"
+  "CMakeFiles/fig6_success_timeseries.dir/fig6_success_timeseries.cpp.o"
+  "CMakeFiles/fig6_success_timeseries.dir/fig6_success_timeseries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_success_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

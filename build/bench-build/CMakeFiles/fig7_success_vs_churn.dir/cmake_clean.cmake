@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_success_vs_churn"
+  "../bench/fig7_success_vs_churn.pdb"
+  "CMakeFiles/fig7_success_vs_churn.dir/fig7_success_vs_churn.cpp.o"
+  "CMakeFiles/fig7_success_vs_churn.dir/fig7_success_vs_churn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_success_vs_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

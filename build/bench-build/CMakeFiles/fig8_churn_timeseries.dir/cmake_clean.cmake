@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_churn_timeseries"
+  "../bench/fig8_churn_timeseries.pdb"
+  "CMakeFiles/fig8_churn_timeseries.dir/fig8_churn_timeseries.cpp.o"
+  "CMakeFiles/fig8_churn_timeseries.dir/fig8_churn_timeseries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_churn_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/content_retrieval"
+  "../examples/content_retrieval.pdb"
+  "CMakeFiles/content_retrieval.dir/content_retrieval.cpp.o"
+  "CMakeFiles/content_retrieval.dir/content_retrieval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/grid_cli"
+  "../examples/grid_cli.pdb"
+  "CMakeFiles/grid_cli.dir/grid_cli.cpp.o"
+  "CMakeFiles/grid_cli.dir/grid_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

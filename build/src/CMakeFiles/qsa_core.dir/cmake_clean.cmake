@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsa_core.dir/qsa/core/aggregate.cpp.o"
+  "CMakeFiles/qsa_core.dir/qsa/core/aggregate.cpp.o.d"
+  "CMakeFiles/qsa_core.dir/qsa/core/baselines.cpp.o"
+  "CMakeFiles/qsa_core.dir/qsa/core/baselines.cpp.o.d"
+  "CMakeFiles/qsa_core.dir/qsa/core/compose.cpp.o"
+  "CMakeFiles/qsa_core.dir/qsa/core/compose.cpp.o.d"
+  "CMakeFiles/qsa_core.dir/qsa/core/select.cpp.o"
+  "CMakeFiles/qsa_core.dir/qsa/core/select.cpp.o.d"
+  "libqsa_core.a"
+  "libqsa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

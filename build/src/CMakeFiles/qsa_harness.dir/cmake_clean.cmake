@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsa_harness.dir/qsa/harness/config.cpp.o"
+  "CMakeFiles/qsa_harness.dir/qsa/harness/config.cpp.o.d"
+  "CMakeFiles/qsa_harness.dir/qsa/harness/experiment.cpp.o"
+  "CMakeFiles/qsa_harness.dir/qsa/harness/experiment.cpp.o.d"
+  "CMakeFiles/qsa_harness.dir/qsa/harness/grid.cpp.o"
+  "CMakeFiles/qsa_harness.dir/qsa/harness/grid.cpp.o.d"
+  "libqsa_harness.a"
+  "libqsa_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsa_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

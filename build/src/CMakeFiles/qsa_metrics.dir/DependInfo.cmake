@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qsa/metrics/counters.cpp" "src/CMakeFiles/qsa_metrics.dir/qsa/metrics/counters.cpp.o" "gcc" "src/CMakeFiles/qsa_metrics.dir/qsa/metrics/counters.cpp.o.d"
+  "/root/repo/src/qsa/metrics/stats.cpp" "src/CMakeFiles/qsa_metrics.dir/qsa/metrics/stats.cpp.o" "gcc" "src/CMakeFiles/qsa_metrics.dir/qsa/metrics/stats.cpp.o.d"
+  "/root/repo/src/qsa/metrics/table.cpp" "src/CMakeFiles/qsa_metrics.dir/qsa/metrics/table.cpp.o" "gcc" "src/CMakeFiles/qsa_metrics.dir/qsa/metrics/table.cpp.o.d"
+  "/root/repo/src/qsa/metrics/timeseries.cpp" "src/CMakeFiles/qsa_metrics.dir/qsa/metrics/timeseries.cpp.o" "gcc" "src/CMakeFiles/qsa_metrics.dir/qsa/metrics/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

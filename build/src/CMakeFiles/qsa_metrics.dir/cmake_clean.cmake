@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsa_metrics.dir/qsa/metrics/counters.cpp.o"
+  "CMakeFiles/qsa_metrics.dir/qsa/metrics/counters.cpp.o.d"
+  "CMakeFiles/qsa_metrics.dir/qsa/metrics/stats.cpp.o"
+  "CMakeFiles/qsa_metrics.dir/qsa/metrics/stats.cpp.o.d"
+  "CMakeFiles/qsa_metrics.dir/qsa/metrics/table.cpp.o"
+  "CMakeFiles/qsa_metrics.dir/qsa/metrics/table.cpp.o.d"
+  "CMakeFiles/qsa_metrics.dir/qsa/metrics/timeseries.cpp.o"
+  "CMakeFiles/qsa_metrics.dir/qsa/metrics/timeseries.cpp.o.d"
+  "libqsa_metrics.a"
+  "libqsa_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsa_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qsa/net/network.cpp" "src/CMakeFiles/qsa_net.dir/qsa/net/network.cpp.o" "gcc" "src/CMakeFiles/qsa_net.dir/qsa/net/network.cpp.o.d"
+  "/root/repo/src/qsa/net/peer.cpp" "src/CMakeFiles/qsa_net.dir/qsa/net/peer.cpp.o" "gcc" "src/CMakeFiles/qsa_net.dir/qsa/net/peer.cpp.o.d"
+  "/root/repo/src/qsa/net/reservations.cpp" "src/CMakeFiles/qsa_net.dir/qsa/net/reservations.cpp.o" "gcc" "src/CMakeFiles/qsa_net.dir/qsa/net/reservations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qsa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsa_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

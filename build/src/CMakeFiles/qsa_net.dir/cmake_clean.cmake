@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsa_net.dir/qsa/net/network.cpp.o"
+  "CMakeFiles/qsa_net.dir/qsa/net/network.cpp.o.d"
+  "CMakeFiles/qsa_net.dir/qsa/net/peer.cpp.o"
+  "CMakeFiles/qsa_net.dir/qsa/net/peer.cpp.o.d"
+  "CMakeFiles/qsa_net.dir/qsa/net/reservations.cpp.o"
+  "CMakeFiles/qsa_net.dir/qsa/net/reservations.cpp.o.d"
+  "libqsa_net.a"
+  "libqsa_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsa_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsa_overlay.dir/qsa/overlay/can_overlay.cpp.o"
+  "CMakeFiles/qsa_overlay.dir/qsa/overlay/can_overlay.cpp.o.d"
+  "CMakeFiles/qsa_overlay.dir/qsa/overlay/chord_id.cpp.o"
+  "CMakeFiles/qsa_overlay.dir/qsa/overlay/chord_id.cpp.o.d"
+  "CMakeFiles/qsa_overlay.dir/qsa/overlay/chord_ring.cpp.o"
+  "CMakeFiles/qsa_overlay.dir/qsa/overlay/chord_ring.cpp.o.d"
+  "CMakeFiles/qsa_overlay.dir/qsa/overlay/pastry_overlay.cpp.o"
+  "CMakeFiles/qsa_overlay.dir/qsa/overlay/pastry_overlay.cpp.o.d"
+  "libqsa_overlay.a"
+  "libqsa_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsa_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqsa_overlay.a"
+)

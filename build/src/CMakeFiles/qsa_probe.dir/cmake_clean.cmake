@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsa_probe.dir/qsa/probe/neighbor_table.cpp.o"
+  "CMakeFiles/qsa_probe.dir/qsa/probe/neighbor_table.cpp.o.d"
+  "CMakeFiles/qsa_probe.dir/qsa/probe/resolution.cpp.o"
+  "CMakeFiles/qsa_probe.dir/qsa/probe/resolution.cpp.o.d"
+  "CMakeFiles/qsa_probe.dir/qsa/probe/snapshot.cpp.o"
+  "CMakeFiles/qsa_probe.dir/qsa/probe/snapshot.cpp.o.d"
+  "libqsa_probe.a"
+  "libqsa_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsa_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

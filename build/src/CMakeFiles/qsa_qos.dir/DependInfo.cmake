@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qsa/qos/resources.cpp" "src/CMakeFiles/qsa_qos.dir/qsa/qos/resources.cpp.o" "gcc" "src/CMakeFiles/qsa_qos.dir/qsa/qos/resources.cpp.o.d"
+  "/root/repo/src/qsa/qos/satisfy.cpp" "src/CMakeFiles/qsa_qos.dir/qsa/qos/satisfy.cpp.o" "gcc" "src/CMakeFiles/qsa_qos.dir/qsa/qos/satisfy.cpp.o.d"
+  "/root/repo/src/qsa/qos/translator.cpp" "src/CMakeFiles/qsa_qos.dir/qsa/qos/translator.cpp.o" "gcc" "src/CMakeFiles/qsa_qos.dir/qsa/qos/translator.cpp.o.d"
+  "/root/repo/src/qsa/qos/tuple_compare.cpp" "src/CMakeFiles/qsa_qos.dir/qsa/qos/tuple_compare.cpp.o" "gcc" "src/CMakeFiles/qsa_qos.dir/qsa/qos/tuple_compare.cpp.o.d"
+  "/root/repo/src/qsa/qos/value.cpp" "src/CMakeFiles/qsa_qos.dir/qsa/qos/value.cpp.o" "gcc" "src/CMakeFiles/qsa_qos.dir/qsa/qos/value.cpp.o.d"
+  "/root/repo/src/qsa/qos/vector.cpp" "src/CMakeFiles/qsa_qos.dir/qsa/qos/vector.cpp.o" "gcc" "src/CMakeFiles/qsa_qos.dir/qsa/qos/vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

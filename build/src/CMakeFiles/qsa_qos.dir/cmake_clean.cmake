@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsa_qos.dir/qsa/qos/resources.cpp.o"
+  "CMakeFiles/qsa_qos.dir/qsa/qos/resources.cpp.o.d"
+  "CMakeFiles/qsa_qos.dir/qsa/qos/satisfy.cpp.o"
+  "CMakeFiles/qsa_qos.dir/qsa/qos/satisfy.cpp.o.d"
+  "CMakeFiles/qsa_qos.dir/qsa/qos/translator.cpp.o"
+  "CMakeFiles/qsa_qos.dir/qsa/qos/translator.cpp.o.d"
+  "CMakeFiles/qsa_qos.dir/qsa/qos/tuple_compare.cpp.o"
+  "CMakeFiles/qsa_qos.dir/qsa/qos/tuple_compare.cpp.o.d"
+  "CMakeFiles/qsa_qos.dir/qsa/qos/value.cpp.o"
+  "CMakeFiles/qsa_qos.dir/qsa/qos/value.cpp.o.d"
+  "CMakeFiles/qsa_qos.dir/qsa/qos/vector.cpp.o"
+  "CMakeFiles/qsa_qos.dir/qsa/qos/vector.cpp.o.d"
+  "libqsa_qos.a"
+  "libqsa_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsa_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsa_registry.dir/qsa/registry/catalog.cpp.o"
+  "CMakeFiles/qsa_registry.dir/qsa/registry/catalog.cpp.o.d"
+  "CMakeFiles/qsa_registry.dir/qsa/registry/directory.cpp.o"
+  "CMakeFiles/qsa_registry.dir/qsa/registry/directory.cpp.o.d"
+  "CMakeFiles/qsa_registry.dir/qsa/registry/placement.cpp.o"
+  "CMakeFiles/qsa_registry.dir/qsa/registry/placement.cpp.o.d"
+  "CMakeFiles/qsa_registry.dir/qsa/registry/service.cpp.o"
+  "CMakeFiles/qsa_registry.dir/qsa/registry/service.cpp.o.d"
+  "CMakeFiles/qsa_registry.dir/qsa/registry/spec.cpp.o"
+  "CMakeFiles/qsa_registry.dir/qsa/registry/spec.cpp.o.d"
+  "libqsa_registry.a"
+  "libqsa_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsa_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

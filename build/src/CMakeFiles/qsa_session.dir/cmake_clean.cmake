@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsa_session.dir/qsa/session/manager.cpp.o"
+  "CMakeFiles/qsa_session.dir/qsa/session/manager.cpp.o.d"
+  "CMakeFiles/qsa_session.dir/qsa/session/session.cpp.o"
+  "CMakeFiles/qsa_session.dir/qsa/session/session.cpp.o.d"
+  "libqsa_session.a"
+  "libqsa_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsa_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsa_sim.dir/qsa/sim/event_queue.cpp.o"
+  "CMakeFiles/qsa_sim.dir/qsa/sim/event_queue.cpp.o.d"
+  "CMakeFiles/qsa_sim.dir/qsa/sim/simulator.cpp.o"
+  "CMakeFiles/qsa_sim.dir/qsa/sim/simulator.cpp.o.d"
+  "libqsa_sim.a"
+  "libqsa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

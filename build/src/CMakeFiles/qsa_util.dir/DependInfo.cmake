@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qsa/util/flags.cpp" "src/CMakeFiles/qsa_util.dir/qsa/util/flags.cpp.o" "gcc" "src/CMakeFiles/qsa_util.dir/qsa/util/flags.cpp.o.d"
+  "/root/repo/src/qsa/util/interner.cpp" "src/CMakeFiles/qsa_util.dir/qsa/util/interner.cpp.o" "gcc" "src/CMakeFiles/qsa_util.dir/qsa/util/interner.cpp.o.d"
+  "/root/repo/src/qsa/util/rng.cpp" "src/CMakeFiles/qsa_util.dir/qsa/util/rng.cpp.o" "gcc" "src/CMakeFiles/qsa_util.dir/qsa/util/rng.cpp.o.d"
+  "/root/repo/src/qsa/util/thread_pool.cpp" "src/CMakeFiles/qsa_util.dir/qsa/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/qsa_util.dir/qsa/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsa_util.dir/qsa/util/flags.cpp.o"
+  "CMakeFiles/qsa_util.dir/qsa/util/flags.cpp.o.d"
+  "CMakeFiles/qsa_util.dir/qsa/util/interner.cpp.o"
+  "CMakeFiles/qsa_util.dir/qsa/util/interner.cpp.o.d"
+  "CMakeFiles/qsa_util.dir/qsa/util/rng.cpp.o"
+  "CMakeFiles/qsa_util.dir/qsa/util/rng.cpp.o.d"
+  "CMakeFiles/qsa_util.dir/qsa/util/thread_pool.cpp.o"
+  "CMakeFiles/qsa_util.dir/qsa/util/thread_pool.cpp.o.d"
+  "libqsa_util.a"
+  "libqsa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

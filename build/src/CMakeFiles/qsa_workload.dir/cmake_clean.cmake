@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsa_workload.dir/qsa/workload/apps.cpp.o"
+  "CMakeFiles/qsa_workload.dir/qsa/workload/apps.cpp.o.d"
+  "CMakeFiles/qsa_workload.dir/qsa/workload/churn.cpp.o"
+  "CMakeFiles/qsa_workload.dir/qsa/workload/churn.cpp.o.d"
+  "CMakeFiles/qsa_workload.dir/qsa/workload/generator.cpp.o"
+  "CMakeFiles/qsa_workload.dir/qsa/workload/generator.cpp.o.d"
+  "libqsa_workload.a"
+  "libqsa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

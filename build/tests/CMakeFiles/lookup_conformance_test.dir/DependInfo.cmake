@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lookup_conformance_test.cpp" "tests/CMakeFiles/lookup_conformance_test.dir/lookup_conformance_test.cpp.o" "gcc" "tests/CMakeFiles/lookup_conformance_test.dir/lookup_conformance_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qsa_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsa_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsa_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsa_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsa_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsa_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsa_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

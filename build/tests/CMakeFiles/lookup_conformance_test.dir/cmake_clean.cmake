@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookup_conformance_test.dir/lookup_conformance_test.cpp.o"
+  "CMakeFiles/lookup_conformance_test.dir/lookup_conformance_test.cpp.o.d"
+  "lookup_conformance_test"
+  "lookup_conformance_test.pdb"
+  "lookup_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookup_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_resources_test.dir/qos_resources_test.cpp.o"
+  "CMakeFiles/qos_resources_test.dir/qos_resources_test.cpp.o.d"
+  "qos_resources_test"
+  "qos_resources_test.pdb"
+  "qos_resources_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_resources_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

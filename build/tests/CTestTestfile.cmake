@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/qos_value_test[1]_include.cmake")
+include("/root/repo/build/tests/qos_satisfy_test[1]_include.cmake")
+include("/root/repo/build/tests/qos_resources_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/overlay_test[1]_include.cmake")
+include("/root/repo/build/tests/can_test[1]_include.cmake")
+include("/root/repo/build/tests/pastry_test[1]_include.cmake")
+include("/root/repo/build/tests/lookup_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/registry_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_test[1]_include.cmake")
+include("/root/repo/build/tests/probe_test[1]_include.cmake")
+include("/root/repo/build/tests/compose_test[1]_include.cmake")
+include("/root/repo/build/tests/select_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/reference_model_test[1]_include.cmake")
