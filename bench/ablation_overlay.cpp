@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
     cells.push_back(
         harness::ExperimentCell{std::string(to_string(kind)), cfg});
   }
+  bench::enable_observability(cells, opt);
   const auto results = harness::ExperimentRunner(opt.threads).run(cells);
+  bench::write_metrics_sidecar("ablation_overlay", results, opt);
 
   metrics::Table table(
       {"overlay", "psi_pct", "lookup_hops_per_request", "setup_ms_per_req"});

@@ -30,7 +30,9 @@ int main(int argc, char** argv) {
     cells.push_back(
         harness::ExperimentCell{"len=" + std::to_string(len), cfg});
   }
+  bench::enable_observability(cells, opt);
   const auto results = harness::ExperimentRunner(opt.threads).run(cells);
+  bench::write_metrics_sidecar("ablation_path_length", results, opt);
 
   metrics::Table table({"path_length", "psi_pct", "composition_failures",
                         "departure_failures", "lookup_hops_per_req"});

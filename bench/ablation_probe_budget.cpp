@@ -30,7 +30,9 @@ int main(int argc, char** argv) {
     cells.push_back(
         harness::ExperimentCell{"M=" + metrics::Table::num(m, 0), cfg});
   }
+  bench::enable_observability(cells, opt);
   const auto results = harness::ExperimentRunner(opt.threads).run(cells);
+  bench::write_metrics_sidecar("ablation_probe_budget", results, opt);
 
   metrics::Table table({"M", "psi_pct", "random_fallback_hops_per_req",
                         "notify_msgs_per_req"});

@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
           cfg});
     }
   }
+  bench::enable_observability(cells, opt);
   const auto results = harness::ExperimentRunner(opt.threads).run(cells);
+  bench::write_metrics_sidecar("ablation_recovery", results, opt);
 
   metrics::Table table({"churn_peers_per_min", "psi_abort", "psi_recovery",
                         "sessions_recovered", "aborts_with_recovery"});

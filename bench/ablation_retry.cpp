@@ -32,7 +32,9 @@ int main(int argc, char** argv) {
     cells.push_back(
         harness::ExperimentCell{"retries=" + metrics::Table::num(r, 0), cfg});
   }
+  bench::enable_observability(cells, opt);
   const auto results = harness::ExperimentRunner(opt.threads).run(cells);
+  bench::write_metrics_sidecar("ablation_retry", results, opt);
 
   metrics::Table table({"retries", "psi_pct", "admission_failures",
                         "retry_attempts"});

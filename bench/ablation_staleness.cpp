@@ -35,7 +35,9 @@ int main(int argc, char** argv) {
     cells.push_back(harness::ExperimentCell{
         metrics::Table::num(s, 0) + "s", cfg});
   }
+  bench::enable_observability(cells, opt);
   const auto results = harness::ExperimentRunner(opt.threads).run(cells);
+  bench::write_metrics_sidecar("ablation_staleness", results, opt);
 
   metrics::Table table({"probe_period_s", "psi_pct", "admission_failures",
                         "departure_failures"});

@@ -40,7 +40,9 @@ int main(int argc, char** argv) {
     cfg.qsa_options = v.options;
     cells.push_back(harness::ExperimentCell{v.name, cfg});
   }
+  bench::enable_observability(cells, opt);
   const auto results = harness::ExperimentRunner(opt.threads).run(cells);
+  bench::write_metrics_sidecar("ablation_tiers", results, opt);
 
   metrics::Table table(
       {"variant", "psi_pct", "avg_composition_cost", "admission_failures"});

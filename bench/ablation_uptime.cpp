@@ -33,7 +33,9 @@ int main(int argc, char** argv) {
           cfg});
     }
   }
+  bench::enable_observability(cells, opt);
   const auto results = harness::ExperimentRunner(opt.threads).run(cells);
+  bench::write_metrics_sidecar("ablation_uptime", results, opt);
 
   metrics::Table table({"churn_peers_per_min", "psi_with_uptime",
                         "psi_without_uptime", "departures_with",

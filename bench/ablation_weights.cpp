@@ -33,7 +33,9 @@ int main(int argc, char** argv) {
     cells.push_back(
         harness::ExperimentCell{"w=" + metrics::Table::num(w, 3), cfg});
   }
+  bench::enable_observability(cells, opt);
   const auto results = harness::ExperimentRunner(opt.threads).run(cells);
+  bench::write_metrics_sidecar("ablation_weights", results, opt);
 
   metrics::Table table({"bandwidth_weight", "psi_pct", "admission_failures",
                         "avg_composition_cost"});

@@ -8,14 +8,20 @@
 //   --seed=N      root seed (default 42)
 //   --threads=N   experiment-runner threads (default: hardware)
 //   --csv         additionally emit the series as CSV
+//   --metrics-out=FILE  write a per-cell metrics sidecar (JSON); enables
+//                 observability on every cell. Byte-identical across
+//                 --threads values.
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "qsa/harness/experiment.hpp"
 #include "qsa/metrics/table.hpp"
+#include "qsa/obs/export.hpp"
 #include "qsa/util/flags.hpp"
 
 namespace qsa::bench {
@@ -25,6 +31,7 @@ struct BenchOptions {
   std::uint64_t seed = 42;
   std::size_t threads = 0;
   bool csv = false;
+  std::string metrics_out;  ///< --metrics-out=FILE; empty = no sidecar
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -34,7 +41,47 @@ inline BenchOptions parse_options(int argc, char** argv) {
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   opt.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
   opt.csv = flags.get_bool("csv", false);
+  opt.metrics_out = flags.get("metrics-out", "");
   return opt;
+}
+
+/// Switches every cell to observed mode when a metrics sidecar was
+/// requested; call after building the cell list, before running it.
+inline void enable_observability(std::vector<harness::ExperimentCell>& cells,
+                                 const BenchOptions& opt) {
+  if (opt.metrics_out.empty()) return;
+  for (auto& cell : cells) cell.config.observe = true;
+}
+
+/// Writes `{"bench":...,"cells":[{"label":...,"metrics":{...}},...]}` to
+/// opt.metrics_out. No-op when --metrics-out was not given.
+inline void write_metrics_sidecar(
+    const char* bench_name,
+    const std::vector<harness::ExperimentResult>& results,
+    const BenchOptions& opt) {
+  if (opt.metrics_out.empty()) return;
+  std::ofstream os(opt.metrics_out);
+  if (!os) {
+    std::fprintf(stderr, "cannot open --metrics-out file %s\n",
+                 opt.metrics_out.c_str());
+    return;
+  }
+  os << "{\"bench\":\"" << bench_name << "\",\"cells\":[";
+  bool first = true;
+  for (const auto& r : results) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"label\":\"";
+    for (char c : r.label) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    std::string metrics = r.metrics_json;  // strip the trailing newline
+    while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+    os << "\",\"metrics\":" << (metrics.empty() ? "{}" : metrics) << '}';
+  }
+  os << "]}\n";
+  std::printf("metrics sidecar -> %s\n", opt.metrics_out.c_str());
 }
 
 inline void print_header(const char* experiment, const char* paper_setup,

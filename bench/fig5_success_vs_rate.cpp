@@ -35,7 +35,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  bench::enable_observability(cells, opt);
   const auto results = harness::ExperimentRunner(opt.threads).run(cells);
+  bench::write_metrics_sidecar("fig5_success_vs_rate", results, opt);
 
   metrics::Table table({"rate_req_per_min", "psi_qsa", "psi_random",
                         "psi_fixed"});

@@ -17,8 +17,10 @@ int main(int argc, char** argv) {
       "Figure 6: success ratio fluctuation (no churn)",
       "10^4 peers, 100 min, rate = 200 req/min, 2-min samples", opt, cfg);
 
-  const auto results =
-      harness::ExperimentRunner(opt.threads).run(harness::algorithm_comparison(cfg));
+  auto cells = harness::algorithm_comparison(cfg);
+  bench::enable_observability(cells, opt);
+  const auto results = harness::ExperimentRunner(opt.threads).run(cells);
+  bench::write_metrics_sidecar("fig6_success_timeseries", results, opt);
 
   metrics::Table table({"minute", "psi_qsa", "psi_random", "psi_fixed"});
   const auto& qsa_s = results[0].result.series.samples();

@@ -30,7 +30,9 @@ int main(int argc, char** argv) {
       cells.push_back(std::move(cell));
     }
   }
+  bench::enable_observability(cells, opt);
   const auto results = harness::ExperimentRunner(opt.threads).run(cells);
+  bench::write_metrics_sidecar("fig7_success_vs_churn", results, opt);
 
   metrics::Table table({"churn_peers_per_min", "psi_qsa", "psi_random",
                         "psi_fixed"});

@@ -18,8 +18,10 @@ int main(int argc, char** argv) {
       "10^4 peers, 60 min, rate = 100 req/min, churn = 100 peers/min", opt,
       cfg);
 
-  const auto results =
-      harness::ExperimentRunner(opt.threads).run(harness::algorithm_comparison(cfg));
+  auto cells = harness::algorithm_comparison(cfg);
+  bench::enable_observability(cells, opt);
+  const auto results = harness::ExperimentRunner(opt.threads).run(cells);
+  bench::write_metrics_sidecar("fig8_churn_timeseries", results, opt);
 
   metrics::Table table({"minute", "psi_qsa", "psi_random", "psi_fixed"});
   const auto& qsa_s = results[0].result.series.samples();

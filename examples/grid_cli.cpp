@@ -6,10 +6,12 @@
 //       --algorithm=qsa --overlay=can --churn=20 --recovery --retries=1
 //       --probe-budget=100 --seed=7 --csv
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "qsa/harness/grid.hpp"
 #include "qsa/metrics/table.hpp"
+#include "qsa/obs/export.hpp"
 #include "qsa/util/flags.hpp"
 
 using namespace qsa;
@@ -30,7 +32,10 @@ void print_usage() {
       "  --probe-budget=M   neighbors probed per peer (default 100)\n"
       "  --bw-weight=W      bandwidth importance weight (default uniform)\n"
       "  --seed=S           root seed (default 42)\n"
-      "  --csv              also emit the psi time series as CSV\n");
+      "  --csv              also emit the psi time series as CSV\n"
+      "  --trace-out=FILE   write the per-request trace as JSON lines\n"
+      "  --metrics-out=FILE write the metrics snapshot (CSV if FILE ends\n"
+      "                     in .csv, JSON otherwise)\n");
 }
 
 }  // namespace
@@ -53,6 +58,9 @@ int main(int argc, char** argv) {
   cfg.probe_budget =
       static_cast<std::size_t>(flags.get_int("probe-budget", 100));
   cfg.bandwidth_weight = flags.get_double("bw-weight", -1);
+  const std::string trace_out = flags.get("trace-out", "");
+  const std::string metrics_out = flags.get("metrics-out", "");
+  cfg.observe = !trace_out.empty() || !metrics_out.empty();
 
   const std::string algo = flags.get("algorithm", "qsa");
   if (algo == "qsa") {
@@ -110,8 +118,33 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.churn_departures),
               static_cast<unsigned long long>(r.churn_arrivals));
   for (const auto& [name, value] : r.counters.all()) {
-    std::printf("%-24s %llu\n", name.c_str(),
+    std::printf("%-24s %llu\n", std::string(name).c_str(),
                 static_cast<unsigned long long>(value));
+  }
+
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out);
+    if (!os) {
+      std::printf("cannot open --trace-out file '%s'\n", trace_out.c_str());
+      return 1;
+    }
+    obs::write_trace_jsonl(*grid.tracer(), os);
+    std::printf("trace   -> %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    if (!os) {
+      std::printf("cannot open --metrics-out file '%s'\n", metrics_out.c_str());
+      return 1;
+    }
+    const bool csv = metrics_out.size() >= 4 &&
+                     metrics_out.compare(metrics_out.size() - 4, 4, ".csv") == 0;
+    if (csv) {
+      obs::write_metrics_csv(*grid.metrics(), os);
+    } else {
+      obs::write_metrics_json(*grid.metrics(), os);
+    }
+    std::printf("metrics -> %s\n", metrics_out.c_str());
   }
 
   if (flags.get_bool("csv", false)) {

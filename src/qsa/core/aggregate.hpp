@@ -43,6 +43,10 @@ struct ServiceRequest {
   /// reservation just failed on stale probe data). QSA's selection honors
   /// this; the cost-blind baselines ignore it, as they ignore all state.
   std::vector<net::PeerId> excluded_hosts;
+  /// Observability correlation id (the harness's 1-based request number).
+  /// 0 = untraced; downstream layers (session manager) key their spans on
+  /// it. Algorithms never read it.
+  std::uint64_t trace_id = 0;
 };
 
 /// The aggregation decision: which instance runs where, hop by hop.

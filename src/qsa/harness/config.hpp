@@ -79,6 +79,13 @@ struct GridConfig {
   sim::SimTime horizon = sim::SimTime::minutes(400);
   sim::SimTime sample_period = sim::SimTime::minutes(2);
 
+  // --- observability ---
+  /// Attach the qsa::obs layer: per-request trace spans (Tracer) and the
+  /// metrics registry (labeled counters/gauges/histograms). Off by default;
+  /// when off, instrumentation compiles down to null-pointer tests and the
+  /// run allocates nothing for observability.
+  bool observe = false;
+
   /// Scales population-bound knobs (peer count, request rate, churn rate) by
   /// `factor`, preserving per-peer load and churned population fraction so
   /// the figures keep their shape at laptop scale.

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "qsa/obs/export.hpp"
 #include "qsa/util/thread_pool.hpp"
 
 namespace qsa::harness {
@@ -14,7 +15,12 @@ std::vector<ExperimentResult> ExperimentRunner::run(
     // Each cell owns an independent simulation; results land at the cell's
     // index so output order never depends on scheduling.
     GridSimulation grid(cells[i].config);
-    results[i] = ExperimentResult{cells[i].label, grid.run()};
+    results[i].label = cells[i].label;
+    results[i].result = grid.run();
+    if (cells[i].config.observe) {
+      results[i].metrics_json = obs::metrics_json(*grid.metrics());
+      results[i].trace_jsonl = obs::trace_jsonl(*grid.tracer());
+    }
   });
   return results;
 }

@@ -21,6 +21,12 @@ struct ExperimentCell {
 struct ExperimentResult {
   std::string label;
   GridResult result;
+  /// Deterministic observability sidecars, filled iff the cell's config set
+  /// `observe`: the metrics registry as sorted-key JSON and the request
+  /// trace as JSON lines. Byte-identical across runner thread counts (every
+  /// simulation is self-seeded, single-threaded, and sim-time-stamped).
+  std::string metrics_json;
+  std::string trace_jsonl;
 };
 
 class ExperimentRunner {

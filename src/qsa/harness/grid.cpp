@@ -53,6 +53,19 @@ GridSimulation::GridSimulation(GridConfig config)
   manager_ = std::make_unique<session::SessionManager>(simulator_, *peers_,
                                                        *network_, catalog_);
 
+  if (config_.observe) {
+    tracer_ = std::make_unique<obs::Tracer>();
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    directory_->set_metrics(metrics_.get());
+    neighbors_->set_metrics(metrics_.get(), network_.get());
+    manager_->set_observability(tracer_.get(), metrics_.get());
+    lookup_hops_hist_ = &metrics_->histogram("aggregate.lookup_hops");
+    setup_latency_hist_ = &metrics_->histogram("aggregate.setup_latency_ms");
+    composition_cost_hist_ =
+        &metrics_->histogram("aggregate.composition_cost");
+    path_length_hist_ = &metrics_->histogram("aggregate.path_length");
+  }
+
   const core::GridServices services{&catalog_,   &placement_, directory_.get(),
                                     peers_.get(), network_.get(),
                                     neighbors_.get()};
@@ -97,7 +110,7 @@ GridSimulation::GridSimulation(GridConfig config)
         // Sessions injected directly via sessions().start_session (examples,
         // tests) bypass request accounting and have no arrival window.
         if (it == pending_window_.end()) return;
-        const std::size_t window = it->second;
+        const std::size_t window = it->second.window;
         pending_window_.erase(it);
         if (cause == core::FailureCause::kNone) {
           record_outcome(window, true);
@@ -157,6 +170,57 @@ void GridSimulation::record_outcome(std::size_t window, bool success) {
   }
 }
 
+void GridSimulation::trace_setup(std::uint64_t request_id, sim::SimTime now,
+                                 const core::AggregationPlan& plan,
+                                 core::FailureCause cause, bool will_retry,
+                                 int attempt) {
+  using obs::Phase;
+  using obs::SpanStatus;
+  obs::Tracer& t = *tracer_;
+  const auto verdict = [&](core::FailureCause at) {
+    return cause == at ? SpanStatus::kFail : SpanStatus::kOk;
+  };
+
+  // Setup phases run within one simulator event, so spans are instantaneous
+  // in sim time; the modeled latency travels as an annotation.
+  const auto discovery = t.instant(
+      request_id, Phase::kDiscovery, now, verdict(core::FailureCause::kDiscovery),
+      cause == core::FailureCause::kDiscovery ? core::to_string(cause)
+                                              : std::string_view{});
+  t.annotate(discovery, "hops", static_cast<double>(plan.lookup_hops));
+  t.annotate(discovery, "latency_ms",
+             static_cast<double>(plan.setup_latency.as_millis()));
+  if (cause == core::FailureCause::kDiscovery) return;
+
+  const auto composition = t.instant(
+      request_id, Phase::kComposition, now,
+      verdict(core::FailureCause::kComposition),
+      cause == core::FailureCause::kComposition ? core::to_string(cause)
+                                                : std::string_view{});
+  if (cause == core::FailureCause::kComposition) return;
+  t.annotate(composition, "cost", plan.composition_cost);
+  t.annotate(composition, "path_length",
+             static_cast<double>(plan.instances.size()));
+
+  const auto selection = t.instant(
+      request_id, Phase::kSelection, now, verdict(core::FailureCause::kSelection),
+      cause == core::FailureCause::kSelection ? core::to_string(cause)
+                                              : std::string_view{});
+  if (cause == core::FailureCause::kSelection) return;
+  t.annotate(selection, "random_fallback_hops",
+             static_cast<double>(plan.random_fallback_hops));
+
+  const SpanStatus admission_status =
+      cause == core::FailureCause::kNone
+          ? SpanStatus::kOk
+          : (will_retry ? SpanStatus::kRetry : SpanStatus::kFail);
+  const auto admission = t.instant(
+      request_id, Phase::kAdmission, now, admission_status,
+      cause == core::FailureCause::kAdmission ? core::to_string(cause)
+                                              : std::string_view{});
+  t.annotate(admission, "attempt", static_cast<double>(attempt));
+}
+
 void GridSimulation::handle_request(const core::ServiceRequest& request) {
   const sim::SimTime now = simulator_.now();
   const auto window = static_cast<std::size_t>(
@@ -164,8 +228,10 @@ void GridSimulation::handle_request(const core::ServiceRequest& request) {
   if (window >= windows_.size()) windows_.resize(window + 1);
   ++windows_[window].attempts;
   ++result_.requests;
+  const std::uint64_t rid = result_.requests;  // 1-based trace id
 
   core::ServiceRequest attempt = request;
+  if (tracer_ != nullptr) attempt.trace_id = rid;
   core::FailureCause cause = core::FailureCause::kNone;
   for (int tries = 0; tries <= config_.admission_retries; ++tries) {
     core::AggregationPlan plan = algorithm_->aggregate(attempt, now);
@@ -175,12 +241,32 @@ void GridSimulation::handle_request(const core::ServiceRequest& request) {
     result_.random_fallback_hops +=
         static_cast<std::uint64_t>(plan.random_fallback_hops);
     cause = plan.failure;
-    if (!plan.ok()) break;
+    if (metrics_ != nullptr) {
+      lookup_hops_hist_->observe(static_cast<double>(plan.lookup_hops));
+      setup_latency_hist_->observe(
+          static_cast<double>(plan.setup_latency.as_millis()));
+      if (plan.ok()) {
+        composition_cost_hist_->observe(plan.composition_cost);
+        path_length_hist_->observe(static_cast<double>(plan.instances.size()));
+      }
+    }
+    if (!plan.ok()) {
+      if (tracer_ != nullptr) {
+        trace_setup(rid, now, plan, cause, /*will_retry=*/false, tries);
+      }
+      break;
+    }
     composition_cost_sum_ += plan.composition_cost;
     ++composed_;
 
     net::PeerId blamed = net::kNoPeer;
     cause = manager_->start_session(attempt, plan, &blamed);
+    const bool will_retry = cause == core::FailureCause::kAdmission &&
+                            blamed != net::kNoPeer &&
+                            tries < config_.admission_retries;
+    if (tracer_ != nullptr) {
+      trace_setup(rid, now, plan, cause, will_retry, tries);
+    }
     if (cause != core::FailureCause::kAdmission || blamed == net::kNoPeer) {
       break;
     }
@@ -196,7 +282,7 @@ void GridSimulation::handle_request(const core::ServiceRequest& request) {
       // Outcome decided later (completion or departure abort). Session ids
       // are handed out sequentially; the one just admitted is the newest.
       const session::SessionId id = manager_->last_session_id();
-      pending_window_.emplace(id, window);
+      pending_window_.emplace(id, Pending{window, rid});
       break;
     }
     case core::FailureCause::kDiscovery:
@@ -214,6 +300,16 @@ void GridSimulation::handle_request(const core::ServiceRequest& request) {
     case core::FailureCause::kDeparture:
       ++result_.failures_departure;
       break;
+  }
+  if (metrics_ != nullptr) {
+    if (cause == core::FailureCause::kNone) {
+      metrics_->add("request.admitted");
+    } else {
+      // One terminal failure counter per cause, e.g. request.fail.admission.
+      std::string name = "request.fail.";
+      name += core::to_string(cause);
+      metrics_->add(name);
+    }
   }
 }
 
@@ -298,8 +394,13 @@ GridResult GridSimulation::run() {
   simulator_.run_until(horizon);
 
   // Sessions still healthy at the horizon count as successes.
-  for (const auto& [id, window] : pending_window_) {
-    record_outcome(window, true);
+  for (const auto& [id, pending] : pending_window_) {
+    record_outcome(pending.window, true);
+    if (tracer_ != nullptr && pending.trace != 0) {
+      // The running span is still open; the horizon ends it healthy.
+      tracer_->end_open(pending.trace, simulator_.now(), obs::SpanStatus::kOk,
+                        "horizon");
+    }
   }
   pending_window_.clear();
 
@@ -324,6 +425,22 @@ GridResult GridSimulation::run() {
   result_.counters.add("sessions.rejected", manager_->stats().rejected);
   result_.counters.add("events.executed", simulator_.executed_events());
   result_.counters.add("net.active_pairs", network_->active_pairs());
+
+  if (metrics_ != nullptr) {
+    metrics_->add("request.total", result_.requests);
+    metrics_->add("sim.events_executed", simulator_.executed_events());
+    metrics_->set("sim.event_queue_high_water",
+                  static_cast<double>(simulator_.max_pending_events()));
+    metrics_->set("net.active_pairs",
+                  static_cast<double>(network_->active_pairs()));
+    metrics_->add("churn.departures", result_.churn_departures);
+    metrics_->add("churn.arrivals", result_.churn_arrivals);
+    metrics_->add("session.admitted", manager_->stats().admitted);
+    metrics_->add("session.completed", manager_->stats().completed);
+    metrics_->add("session.aborted", manager_->stats().aborted);
+    metrics_->add("session.recovered", manager_->stats().recovered);
+    metrics_->add("session.rejected", manager_->stats().rejected);
+  }
   return result_;
 }
 

@@ -16,6 +16,8 @@
 #include "qsa/metrics/timeseries.hpp"
 #include "qsa/net/network.hpp"
 #include "qsa/net/peer.hpp"
+#include "qsa/obs/registry.hpp"
+#include "qsa/obs/trace.hpp"
 #include "qsa/overlay/lookup.hpp"
 #include "qsa/probe/resolution.hpp"
 #include "qsa/registry/catalog.hpp"
@@ -101,6 +103,12 @@ class GridSimulation {
   }
   [[nodiscard]] const GridConfig& config() const noexcept { return config_; }
 
+  /// The trace/metrics sinks; non-null iff `config.observe` is set.
+  [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_.get(); }
+  [[nodiscard]] obs::MetricsRegistry* metrics() noexcept {
+    return metrics_.get();
+  }
+
   /// Departs a peer through the full churn path (sessions, placement, ring,
   /// neighbor state, table).
   void depart_peer(net::PeerId peer);
@@ -112,6 +120,12 @@ class GridSimulation {
   void bootstrap();
   void handle_request(const core::ServiceRequest& request);
   void record_outcome(std::size_t window, bool success);
+  /// Emits the setup-phase spans (discovery -> composition -> selection ->
+  /// admission) of one aggregation attempt. `cause` is the attempt's
+  /// outcome; `will_retry` marks a non-terminal admission failure.
+  void trace_setup(std::uint64_t request_id, sim::SimTime now,
+                   const core::AggregationPlan& plan,
+                   core::FailureCause cause, bool will_retry, int attempt);
   /// Recovery policy: the downstream neighbor of the failed hop re-runs one
   /// dynamic-peer-selection step over the surviving providers.
   net::PeerId select_replacement(const session::Session& s,
@@ -143,11 +157,25 @@ class GridSimulation {
     std::uint64_t attempts = 0;
     std::uint64_t successes = 0;
   };
+  /// An admitted request whose outcome is still undecided.
+  struct Pending {
+    std::size_t window = 0;
+    std::uint64_t trace = 0;  ///< request trace id (0 = untraced)
+  };
   std::vector<Window> windows_;
-  std::unordered_map<session::SessionId, std::size_t> pending_window_;
+  std::unordered_map<session::SessionId, Pending> pending_window_;
   GridResult result_;
   double composition_cost_sum_ = 0;
   std::uint64_t composed_ = 0;
+
+  // Observability (only allocated when config.observe is set); the
+  // histogram handles are resolved once at construction.
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  obs::Histogram* lookup_hops_hist_ = nullptr;
+  obs::Histogram* setup_latency_hist_ = nullptr;
+  obs::Histogram* composition_cost_hist_ = nullptr;
+  obs::Histogram* path_length_hist_ = nullptr;
 };
 
 }  // namespace qsa::harness

@@ -1,19 +1,34 @@
 #include "qsa/metrics/counters.hpp"
 
+#include <algorithm>
+
 namespace qsa::metrics {
 
 void Counters::add(std::string_view name, std::uint64_t delta) {
-  auto it = counts_.find(name);
-  if (it == counts_.end()) {
-    counts_.emplace(std::string(name), delta);
-  } else {
-    it->second += delta;
-  }
+  const util::Interner::Id id = names_.intern(name);
+  if (id >= values_.size()) values_.resize(id + 1, 0);
+  values_[id] += delta;
 }
 
 std::uint64_t Counters::get(std::string_view name) const {
-  auto it = counts_.find(name);
-  return it == counts_.end() ? 0 : it->second;
+  const util::Interner::Id id = names_.find(name);
+  return id == util::Interner::kInvalid ? 0 : values_[id];
+}
+
+std::vector<std::pair<std::string_view, std::uint64_t>> Counters::all() const {
+  std::vector<std::pair<std::string_view, std::uint64_t>> out;
+  out.reserve(values_.size());
+  for (std::size_t id = 0; id < values_.size(); ++id) {
+    out.emplace_back(names_.name(static_cast<util::Interner::Id>(id)),
+                     values_[id]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Counters::clear() {
+  names_.clear();
+  values_.clear();
 }
 
 }  // namespace qsa::metrics

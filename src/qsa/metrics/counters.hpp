@@ -1,11 +1,18 @@
 // Named event counters for a simulation run (requests by outcome, failure
 // causes, protocol overhead, ...).
+//
+// The hot path (`add` on an existing name) is one transparent hash lookup
+// plus an indexed increment — no allocation, no tree walk. Names are
+// interned once; `all()` materialises a name-sorted snapshot so exported
+// output stays deterministic.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
+
+#include "qsa/util/interner.hpp"
 
 namespace qsa::metrics {
 
@@ -15,16 +22,19 @@ class Counters {
 
   [[nodiscard]] std::uint64_t get(std::string_view name) const;
 
-  /// All counters in name order (deterministic output).
-  [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>& all()
-      const noexcept {
-    return counts_;
-  }
+  /// All counters as (name, value) pairs in name order (deterministic
+  /// output). The views point into the interner and stay valid until
+  /// clear().
+  [[nodiscard]] std::vector<std::pair<std::string_view, std::uint64_t>> all()
+      const;
 
-  void clear() { counts_.clear(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  void clear();
 
  private:
-  std::map<std::string, std::uint64_t, std::less<>> counts_;
+  util::Interner names_;
+  std::vector<std::uint64_t> values_;  // indexed by interner id
 };
 
 }  // namespace qsa::metrics

@@ -1,0 +1,39 @@
+// Deterministic exporters for the observability layer.
+//
+// All output is byte-reproducible for a given run: object keys are emitted
+// in sorted order, instruments iterate name-ordered, timestamps are sim-time
+// milliseconds only (never wall clock), and doubles are rendered with
+// std::to_chars shortest round-trip form. Two runs with the same seed — or
+// the same cells executed under any ExperimentRunner thread count — produce
+// identical bytes.
+//
+// Formats:
+//   - trace:   JSON lines, one span per line, in span-creation order.
+//   - metrics: one JSON object {"counters":{},"gauges":{},"histograms":{}},
+//              or flat CSV rows `kind,name,field,value`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "qsa/obs/registry.hpp"
+#include "qsa/obs/trace.hpp"
+
+namespace qsa::obs {
+
+/// One span as a single JSON line (no trailing newline).
+[[nodiscard]] std::string to_json(const Span& span);
+
+/// All spans, one JSON object per line (JSONL).
+void write_trace_jsonl(const Tracer& tracer, std::ostream& os);
+[[nodiscard]] std::string trace_jsonl(const Tracer& tracer);
+
+/// The registry as one sorted-key JSON document (trailing newline).
+void write_metrics_json(const MetricsRegistry& registry, std::ostream& os);
+[[nodiscard]] std::string metrics_json(const MetricsRegistry& registry);
+
+/// The registry as CSV rows `kind,name,field,value` (header included).
+void write_metrics_csv(const MetricsRegistry& registry, std::ostream& os);
+[[nodiscard]] std::string metrics_csv(const MetricsRegistry& registry);
+
+}  // namespace qsa::obs

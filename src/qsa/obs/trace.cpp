@@ -1,0 +1,137 @@
+#include "qsa/obs/trace.hpp"
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::obs {
+
+std::string_view to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kDiscovery:
+      return "discovery";
+    case Phase::kComposition:
+      return "composition";
+    case Phase::kSelection:
+      return "selection";
+    case Phase::kAdmission:
+      return "admission";
+    case Phase::kRunning:
+      return "running";
+    case Phase::kRecovery:
+      return "recovery";
+    case Phase::kTeardown:
+      return "teardown";
+  }
+  return "?";
+}
+
+std::string_view to_string(SpanStatus status) {
+  switch (status) {
+    case SpanStatus::kOpen:
+      return "open";
+    case SpanStatus::kOk:
+      return "ok";
+    case SpanStatus::kFail:
+      return "fail";
+    case SpanStatus::kRetry:
+      return "retry";
+    case SpanStatus::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+Tracer::SpanId Tracer::begin(std::uint64_t request, Phase phase,
+                             sim::SimTime now) {
+  const auto id = static_cast<SpanId>(spans_.size());
+  Span s;
+  s.request = request;
+  s.phase = phase;
+  s.begin = s.end = now;
+  spans_.push_back(s);
+  open_[request].push_back(id);
+  return id;
+}
+
+void Tracer::annotate(SpanId span, const char* key, double value) {
+  QSA_EXPECTS(span < spans_.size());
+  Span& s = spans_[span];
+  if (s.attrs.size() < s.attrs.capacity()) {
+    s.attrs.push_back(SpanAttr{key, value});
+  }
+}
+
+void Tracer::end(SpanId span, sim::SimTime now, SpanStatus status,
+                 std::string_view cause) {
+  QSA_EXPECTS(span < spans_.size());
+  QSA_EXPECTS(status != SpanStatus::kOpen);
+  Span& s = spans_[span];
+  if (s.status != SpanStatus::kOpen) return;  // already closed
+  s.end = now;
+  s.status = status;
+  s.cause = cause;
+  if (auto it = open_.find(s.request); it != open_.end()) {
+    auto& stack = it->second;
+    for (std::size_t i = stack.size(); i-- > 0;) {
+      if (stack[i] == span) {
+        // Preserve stack order below the removed entry.
+        for (std::size_t j = i + 1; j < stack.size(); ++j) {
+          stack[j - 1] = stack[j];
+        }
+        stack.pop_back();
+        break;
+      }
+    }
+    if (stack.empty()) open_.erase(it);
+  }
+}
+
+Tracer::SpanId Tracer::instant(std::uint64_t request, Phase phase,
+                               sim::SimTime now, SpanStatus status,
+                               std::string_view cause) {
+  const SpanId id = begin(request, phase, now);
+  end(id, now, status, cause);
+  return id;
+}
+
+void Tracer::end_open(std::uint64_t request, sim::SimTime now,
+                      SpanStatus status, std::string_view cause) {
+  auto it = open_.find(request);
+  if (it == open_.end()) return;
+  // end() mutates the stack; drain from a copy, newest first.
+  const auto stack = it->second;
+  for (std::size_t i = stack.size(); i-- > 0;) {
+    end(stack[i], now, status, cause);
+  }
+}
+
+std::uint64_t Tracer::count(Phase phase, SpanStatus status) const {
+  std::uint64_t n = 0;
+  for (const Span& s : spans_) {
+    if (s.phase == phase && s.status == status) ++n;
+  }
+  return n;
+}
+
+std::uint64_t Tracer::failures(std::string_view cause) const {
+  std::uint64_t n = 0;
+  for (const Span& s : spans_) {
+    if (s.status == SpanStatus::kFail && s.phase != Phase::kRecovery &&
+        s.cause == cause) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t Tracer::open_spans() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [request, stack] : open_) n += stack.size();
+  return n;
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  open_.clear();
+}
+
+}  // namespace qsa::obs

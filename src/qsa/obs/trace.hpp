@@ -1,0 +1,116 @@
+// Per-request trace spans: every request a grid simulation handles is
+// decomposed into the paper's setup phases (discovery -> composition ->
+// selection -> admission) followed by the session lifetime (running, with
+// optional recovery spans, then teardown). Each span records begin/end in
+// *sim time* plus an outcome and optional numeric annotations, so a churn
+// run can be replayed as a timeline and every GridResult failure counter is
+// reconstructible from the span stream.
+//
+// Cost model: the Tracer is only ever reached through a nullable pointer;
+// with no tracer attached instrumentation is one pointer test and performs
+// no allocation. Attribute keys and cause strings are string_views into
+// static storage — the tracer never copies or owns name strings.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "qsa/sim/time.hpp"
+#include "qsa/util/small_vec.hpp"
+
+namespace qsa::obs {
+
+/// Request lifecycle phases, in causal order.
+enum class Phase : std::uint8_t {
+  kDiscovery,    ///< P2P lookup of candidate instances
+  kComposition,  ///< QoS-consistent service path construction
+  kSelection,    ///< hop-by-hop dynamic peer selection
+  kAdmission,    ///< all-or-nothing resource reservation
+  kRunning,      ///< admitted session lifetime
+  kRecovery,     ///< mid-session departure repair attempt
+  kTeardown,     ///< reservation release at normal completion
+};
+inline constexpr std::size_t kPhaseCount = 7;
+
+[[nodiscard]] std::string_view to_string(Phase phase);
+
+enum class SpanStatus : std::uint8_t {
+  kOpen,   ///< begun, not yet ended
+  kOk,     ///< phase succeeded
+  kFail,   ///< phase failed — the request's terminal failure
+  kRetry,  ///< phase failed but the request retried (not terminal)
+  kAbort,  ///< closed without a verdict (e.g. horizon reached mid-phase)
+};
+
+[[nodiscard]] std::string_view to_string(SpanStatus status);
+
+/// A numeric annotation. Keys must point at static storage.
+struct SpanAttr {
+  const char* key = nullptr;
+  double value = 0;
+};
+
+struct Span {
+  std::uint64_t request = 0;  ///< 1-based request id within the run
+  Phase phase = Phase::kDiscovery;
+  SpanStatus status = SpanStatus::kOpen;
+  std::string_view cause;  ///< failure cause name; empty when none
+  sim::SimTime begin;
+  sim::SimTime end;
+  util::SmallVec<SpanAttr, 6> attrs;
+};
+
+class Tracer {
+ public:
+  using SpanId = std::uint32_t;
+  static constexpr SpanId kNoSpan = ~SpanId{0};
+
+  /// Opens a span for `request` at sim time `now`.
+  SpanId begin(std::uint64_t request, Phase phase, sim::SimTime now);
+
+  /// Attaches a numeric annotation to an open span. `key` must outlive the
+  /// tracer (string literal).
+  void annotate(SpanId span, const char* key, double value);
+
+  /// Closes a span with an outcome. `cause` must point at static storage
+  /// (e.g. core::to_string(FailureCause)).
+  void end(SpanId span, sim::SimTime now, SpanStatus status,
+           std::string_view cause = {});
+
+  /// Convenience: opens and immediately closes a span (setup phases execute
+  /// within one simulator event, so begin == end in sim time).
+  SpanId instant(std::uint64_t request, Phase phase, sim::SimTime now,
+                 SpanStatus status, std::string_view cause = {});
+
+  /// Closes every still-open span of `request`, newest first (nested spans
+  /// unwind inside-out). Used at the simulation horizon and for mid-phase
+  /// aborts.
+  void end_open(std::uint64_t request, sim::SimTime now, SpanStatus status,
+                std::string_view cause = {});
+
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept {
+    return spans_;
+  }
+
+  /// Number of closed spans with this phase and status.
+  [[nodiscard]] std::uint64_t count(Phase phase, SpanStatus status) const;
+
+  /// Number of terminal request failures attributed to `cause` (status
+  /// kFail). Recovery spans are excluded: a failed repair attempt is not a
+  /// request outcome — the enclosing running span carries the verdict.
+  [[nodiscard]] std::uint64_t failures(std::string_view cause) const;
+
+  /// Number of open spans (diagnostic; 0 after a completed run).
+  [[nodiscard]] std::size_t open_spans() const noexcept;
+
+  void clear();
+
+ private:
+  std::vector<Span> spans_;
+  /// Open-span stack per request id.
+  std::unordered_map<std::uint64_t, util::SmallVec<SpanId, 4>> open_;
+};
+
+}  // namespace qsa::obs

@@ -1,5 +1,6 @@
 #include "qsa/probe/resolution.hpp"
 
+#include "qsa/net/network.hpp"
 #include "qsa/util/expects.hpp"
 
 namespace qsa::probe {
@@ -8,6 +9,20 @@ NeighborResolution::NeighborResolution(std::size_t budget, sim::SimTime ttl)
     : budget_(budget), ttl_(ttl) {
   QSA_EXPECTS(budget >= 1);
   QSA_EXPECTS(ttl > sim::SimTime::zero());
+}
+
+void NeighborResolution::set_metrics(obs::MetricsRegistry* metrics,
+                                     const net::NetworkModel* net) {
+  net_ = net;
+  if (metrics == nullptr) {
+    notifications_ = nullptr;
+    staleness_at_use_ = nullptr;
+    probe_rtt_ = nullptr;
+    return;
+  }
+  notifications_ = &metrics->counter("probe.notifications");
+  staleness_at_use_ = &metrics->histogram("probe.staleness_at_use_ms");
+  probe_rtt_ = &metrics->histogram("probe.rtt_ms");
 }
 
 NeighborTable& NeighborResolution::table(net::PeerId peer) {
@@ -22,12 +37,18 @@ void NeighborResolution::register_path(
     net::PeerId requester,
     std::span<const std::vector<net::PeerId>> hop_candidates,
     sim::SimTime now) {
+  const std::uint64_t before = messages_;
   NeighborTable& mine = table(requester);
   for (std::size_t i = 0; i < hop_candidates.size(); ++i) {
     const auto hop = static_cast<std::uint8_t>(i + 1);
     for (net::PeerId candidate : hop_candidates[i]) {
       mine.add(candidate, hop, NeighborKind::kDirect, now, ttl_);
       ++messages_;  // the notification to this candidate
+      if (probe_rtt_ != nullptr && net_ != nullptr) {
+        probe_rtt_->observe(
+            2 * static_cast<double>(net_->latency(requester, candidate)
+                                        .as_millis()));
+      }
     }
     // Each hop-i candidate is notified about every hop-(i+1) candidate;
     // those indirect-table updates are accounted here and materialized
@@ -36,6 +57,7 @@ void NeighborResolution::register_path(
       messages_ += hop_candidates[i].size() * hop_candidates[i + 1].size();
     }
   }
+  if (notifications_ != nullptr) notifications_->add(messages_ - before);
 }
 
 void NeighborResolution::prepare_selection(
@@ -48,6 +70,15 @@ void NeighborResolution::prepare_selection(
   // requester keeps the absolute hop index.
   const std::uint8_t entry_hop = direct ? hop : std::uint8_t{1};
   for (net::PeerId candidate : candidates) {
+    if (staleness_at_use_ != nullptr) {
+      // Entry age at the moment the selector consults it, before this
+      // refresh resets the soft-state deadline.
+      if (auto it = t.entries().find(candidate);
+          it != t.entries().end() && it->second.expires > now) {
+        staleness_at_use_->observe(static_cast<double>(
+            (ttl_ - (it->second.expires - now)).as_millis()));
+      }
+    }
     t.add(candidate, entry_hop, kind, now, ttl_);
   }
 }

@@ -23,7 +23,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "qsa/obs/registry.hpp"
 #include "qsa/probe/neighbor_table.hpp"
+
+namespace qsa::net {
+class NetworkModel;
+}
 
 namespace qsa::probe {
 
@@ -32,6 +37,14 @@ class NeighborResolution {
   /// `budget` is M (max probed neighbors per peer); `ttl` the soft-state
   /// lifetime granted by one notification.
   NeighborResolution(std::size_t budget, sim::SimTime ttl);
+
+  /// Attaches observability (optional; null detaches). Records
+  /// `probe.notifications` (counter), `probe.staleness_at_use_ms`
+  /// (histogram: entry age when a selector consults it) and — when `net` is
+  /// given — `probe.rtt_ms` (histogram: round-trip of each direct
+  /// notification).
+  void set_metrics(obs::MetricsRegistry* metrics,
+                   const net::NetworkModel* net = nullptr);
 
   /// The (lazily created) neighbor table of a peer.
   [[nodiscard]] NeighborTable& table(net::PeerId peer);
@@ -66,6 +79,13 @@ class NeighborResolution {
   sim::SimTime ttl_;
   std::unordered_map<net::PeerId, NeighborTable> tables_;
   std::uint64_t messages_ = 0;
+
+  // Observability handles; all null when detached (the disabled path is a
+  // pointer test, no allocation).
+  const net::NetworkModel* net_ = nullptr;
+  obs::Counter* notifications_ = nullptr;
+  obs::Histogram* staleness_at_use_ = nullptr;
+  obs::Histogram* probe_rtt_ = nullptr;
 };
 
 }  // namespace qsa::probe

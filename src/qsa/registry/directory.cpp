@@ -25,6 +25,18 @@ void ServiceDirectory::unpublish(InstanceId instance) {
   ring_.erase(key_of(catalog_.instance(instance).service), instance);
 }
 
+void ServiceDirectory::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    lookups_ = nullptr;
+    lookup_hops_ = nullptr;
+    lookup_latency_ = nullptr;
+    return;
+  }
+  lookups_ = &metrics->counter("directory.lookups");
+  lookup_hops_ = &metrics->histogram("directory.lookup_hops");
+  lookup_latency_ = &metrics->histogram("directory.lookup_latency_ms");
+}
+
 Discovery ServiceDirectory::discover(ServiceId service, net::PeerId from,
                                      const net::NetworkModel* net) const {
   Discovery d;
@@ -34,6 +46,11 @@ Discovery ServiceDirectory::discover(ServiceId service, net::PeerId from,
   d.latency = stats.latency;
   for (std::uint64_t v : ring_.get(key)) {
     d.instances.push_back(static_cast<InstanceId>(v));
+  }
+  if (lookups_ != nullptr) {
+    lookups_->add();
+    lookup_hops_->observe(d.hops);
+    lookup_latency_->observe(static_cast<double>(d.latency.as_millis()));
   }
   return d;
 }

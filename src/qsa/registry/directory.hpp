@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "qsa/obs/registry.hpp"
 #include "qsa/overlay/lookup.hpp"
 #include "qsa/registry/catalog.hpp"
 #include "qsa/registry/placement.hpp"
@@ -45,12 +46,21 @@ class ServiceDirectory {
   [[nodiscard]] Discovery discover(ServiceId service, net::PeerId from,
                                    const net::NetworkModel* net = nullptr) const;
 
+  /// Attaches observability (optional; null detaches). Records per-lookup
+  /// `directory.lookup_hops` and `directory.lookup_latency_ms` histograms
+  /// plus a `directory.lookups` counter.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   [[nodiscard]] overlay::Key key_of(ServiceId service) const;
 
   std::uint64_t seed_;
   overlay::LookupService& ring_;
   const ServiceCatalog& catalog_;
+
+  obs::Counter* lookups_ = nullptr;
+  obs::Histogram* lookup_hops_ = nullptr;
+  obs::Histogram* lookup_latency_ = nullptr;
 };
 
 }  // namespace qsa::registry

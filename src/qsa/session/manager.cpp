@@ -24,6 +24,23 @@ SessionManager::SessionManager(sim::Simulator& simulator,
                                const registry::ServiceCatalog& catalog)
     : simulator_(simulator), peers_(peers), net_(net), catalog_(catalog) {}
 
+void SessionManager::set_observability(obs::Tracer* tracer,
+                                       obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  if (metrics == nullptr) {
+    active_gauge_ = nullptr;
+    duration_hist_ = nullptr;
+    time_to_failure_hist_ = nullptr;
+    recovery_salvaged_hist_ = nullptr;
+    return;
+  }
+  active_gauge_ = &metrics->gauge("session.active");
+  duration_hist_ = &metrics->histogram("session.duration_ms");
+  time_to_failure_hist_ = &metrics->histogram("session.time_to_failure_ms");
+  recovery_salvaged_hist_ =
+      &metrics->histogram("session.recovery_salvaged_ms");
+}
+
 void SessionManager::index(const Session& s) {
   for (net::PeerId p : participants_of(s)) by_peer_[p].push_back(s.id);
 }
@@ -95,8 +112,17 @@ core::FailureCause SessionManager::start_session(
   const SessionId id = s.id;
   s.end_event = simulator_.schedule_at(
       s.end, [this, id] { finish_session(id, core::FailureCause::kNone); });
+  if (tracer_ != nullptr && request.trace_id != 0) {
+    s.trace_id = request.trace_id;
+    s.trace_span = tracer_->begin(s.trace_id, obs::Phase::kRunning, now);
+    tracer_->annotate(s.trace_span, "hosts",
+                      static_cast<double>(s.hosts.size()));
+  }
   sessions_.emplace(id, std::move(s));
   ++stats_.admitted;
+  if (active_gauge_ != nullptr) {
+    active_gauge_->set(static_cast<double>(sessions_.size()));
+  }
   return core::FailureCause::kNone;
 }
 
@@ -122,10 +148,28 @@ void SessionManager::finish_session(SessionId id, core::FailureCause cause) {
   release_all(s);
   unindex(s);
 
-  if (cause == core::FailureCause::kNone) {
+  const sim::SimTime now = simulator_.now();
+  const bool completed = cause == core::FailureCause::kNone;
+  if (completed) {
     ++stats_.completed;
+    if (duration_hist_ != nullptr) {
+      duration_hist_->observe(static_cast<double>((now - s.start).as_millis()));
+    }
   } else {
     ++stats_.aborted;
+    if (time_to_failure_hist_ != nullptr) {
+      time_to_failure_hist_->observe(
+          static_cast<double>((now - s.start).as_millis()));
+    }
+  }
+  if (tracer_ != nullptr && s.trace_id != 0) {
+    tracer_->end(s.trace_span, now,
+                 completed ? obs::SpanStatus::kOk : obs::SpanStatus::kFail,
+                 completed ? std::string_view{} : core::to_string(cause));
+    if (completed) {
+      tracer_->instant(s.trace_id, obs::Phase::kTeardown, now,
+                       obs::SpanStatus::kOk);
+    }
   }
   if (outcome_) outcome_(s, cause);
 }
@@ -134,6 +178,30 @@ bool SessionManager::try_recover(SessionId id, net::PeerId failed) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return false;
   Session& s = it->second;
+
+  const sim::SimTime now = simulator_.now();
+  obs::Tracer::SpanId span = obs::Tracer::kNoSpan;
+  if (tracer_ != nullptr && s.trace_id != 0) {
+    span = tracer_->begin(s.trace_id, obs::Phase::kRecovery, now);
+  }
+  const bool repaired = recover_hosts(s, failed);
+  if (repaired) {
+    ++stats_.recovered;
+    if (recovery_salvaged_hist_ != nullptr) {
+      // Session runtime the repair saved from abortion.
+      recovery_salvaged_hist_->observe(
+          static_cast<double>((s.end - now).as_millis()));
+    }
+  }
+  if (span != obs::Tracer::kNoSpan) {
+    tracer_->end(span, simulator_.now(),
+                 repaired ? obs::SpanStatus::kOk : obs::SpanStatus::kFail,
+                 "departure");
+  }
+  return repaired;
+}
+
+bool SessionManager::recover_hosts(Session& s, net::PeerId failed) {
   if (s.requester == failed) return false;  // nothing to deliver to
 
   // Propose a replacement for every path position the failed peer held.
@@ -208,7 +276,6 @@ bool SessionManager::try_recover(SessionId id, net::PeerId failed) {
   for (const auto& hr : added) s.host_reservations.push_back(hr);
   s.link_reservations = std::move(new_links);
   index(s);
-  ++stats_.recovered;
   return true;
 }
 

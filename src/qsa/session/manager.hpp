@@ -18,6 +18,8 @@
 #include "qsa/core/aggregate.hpp"
 #include "qsa/net/network.hpp"
 #include "qsa/net/peer.hpp"
+#include "qsa/obs/registry.hpp"
+#include "qsa/obs/trace.hpp"
 #include "qsa/registry/catalog.hpp"
 #include "qsa/session/session.hpp"
 #include "qsa/sim/simulator.hpp"
@@ -51,6 +53,13 @@ class SessionManager {
                  const registry::ServiceCatalog& catalog);
 
   void set_outcome_callback(OutcomeCallback cb) { outcome_ = std::move(cb); }
+
+  /// Attaches observability (optional; null detaches). Traced sessions
+  /// (request trace_id != 0) get a `running` span from admission to
+  /// completion/abort, `recovery` spans per repair attempt and a `teardown`
+  /// span on normal completion; the registry gains session.* histograms and
+  /// the active-session high-water gauge.
+  void set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
   /// Enables mid-session departure recovery. Without it (the paper's
   /// baseline behaviour) any participant departure aborts the session.
@@ -89,6 +98,8 @@ class SessionManager {
   /// true when the session was repaired (hosts swapped, reservations
   /// migrated); false means the caller must abort it.
   bool try_recover(SessionId id, net::PeerId failed);
+  /// The repair itself: replacement proposal + reservation migration.
+  bool recover_hosts(Session& s, net::PeerId failed);
   void unindex(const Session& s);
   void index(const Session& s);
 
@@ -98,6 +109,12 @@ class SessionManager {
   const registry::ServiceCatalog& catalog_;
   OutcomeCallback outcome_;
   RecoveryFn recovery_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::Gauge* active_gauge_ = nullptr;
+  obs::Histogram* duration_hist_ = nullptr;
+  obs::Histogram* time_to_failure_hist_ = nullptr;
+  obs::Histogram* recovery_salvaged_hist_ = nullptr;
 
   std::unordered_map<SessionId, Session> sessions_;
   std::unordered_map<net::PeerId, std::vector<SessionId>> by_peer_;

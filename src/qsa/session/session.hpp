@@ -38,6 +38,11 @@ struct Session {
   std::vector<HostReservation> host_reservations;
   std::vector<LinkReservation> link_reservations;
   sim::EventHandle end_event;
+
+  /// Observability: the originating request's trace id (0 = untraced) and
+  /// the open `running` span the manager keeps for it.
+  std::uint64_t trace_id = 0;
+  std::uint32_t trace_span = 0;
 };
 
 }  // namespace qsa::session

@@ -16,12 +16,16 @@ class Simulator {
 
   /// Schedules `action` `delay` after now.
   EventHandle schedule_in(SimTime delay, EventQueue::Action action) {
-    return queue_.schedule(now_ + delay, std::move(action));
+    EventHandle h = queue_.schedule(now_ + delay, std::move(action));
+    note_scheduled();
+    return h;
   }
 
   /// Schedules `action` at absolute time `at` (clamped to now if earlier).
   EventHandle schedule_at(SimTime at, EventQueue::Action action) {
-    return queue_.schedule(at < now_ ? now_ : at, std::move(action));
+    EventHandle h = queue_.schedule(at < now_ ? now_ : at, std::move(action));
+    note_scheduled();
+    return h;
   }
 
   void cancel(EventHandle h) { queue_.cancel(h); }
@@ -44,11 +48,20 @@ class Simulator {
   [[nodiscard]] std::size_t executed_events() const noexcept {
     return executed_;
   }
+  /// High-water mark of the live event count (queue-depth observability).
+  [[nodiscard]] std::size_t max_pending_events() const noexcept {
+    return max_pending_;
+  }
 
  private:
+  void note_scheduled() noexcept {
+    if (queue_.size() > max_pending_) max_pending_ = queue_.size();
+  }
+
   EventQueue queue_;
   SimTime now_ = SimTime::zero();
   std::size_t executed_ = 0;
+  std::size_t max_pending_ = 0;
 };
 
 }  // namespace qsa::sim

@@ -5,7 +5,7 @@
 namespace qsa::util {
 
 Interner::Id Interner::intern(std::string_view name) {
-  auto it = ids_.find(std::string(name));
+  auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
   const Id id = static_cast<Id>(names_.size());
   names_.emplace_back(name);
@@ -14,13 +14,18 @@ Interner::Id Interner::intern(std::string_view name) {
 }
 
 Interner::Id Interner::find(std::string_view name) const {
-  auto it = ids_.find(std::string(name));
+  auto it = ids_.find(name);
   return it == ids_.end() ? kInvalid : it->second;
 }
 
 std::string_view Interner::name(Id id) const {
   QSA_EXPECTS(id < names_.size());
   return names_[id];
+}
+
+void Interner::clear() {
+  ids_.clear();
+  names_.clear();
 }
 
 }  // namespace qsa::util

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -26,8 +27,18 @@ class Interner {
 
   [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
 
+  void clear();
+
  private:
-  std::unordered_map<std::string, Id> ids_;
+  // Transparent hash: lookups take a string_view directly, no temporary
+  // std::string per probe.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, Id, Hash, std::equal_to<>> ids_;
   std::vector<std::string> names_;
 };
 

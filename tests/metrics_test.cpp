@@ -28,7 +28,7 @@ TEST(Counters, IterationIsNameOrdered) {
   c.add("alpha");
   c.add("mid");
   std::vector<std::string> names;
-  for (const auto& [name, value] : c.all()) names.push_back(name);
+  for (const auto& [name, value] : c.all()) names.emplace_back(name);
   EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zebra"}));
 }
 

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "qsa/harness/experiment.hpp"
+#include "qsa/harness/grid.hpp"
+#include "qsa/obs/export.hpp"
+#include "qsa/obs/histogram.hpp"
+#include "qsa/obs/registry.hpp"
+#include "qsa/obs/trace.hpp"
+
+namespace qsa::obs {
+namespace {
+
+// ------------------------------------------------------------ Histogram
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, SingleSampleQuantilesAreTheSample) {
+  Histogram h;
+  h.observe(7.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 7.0);
+  EXPECT_EQ(h.max(), 7.0);
+  EXPECT_EQ(h.mean(), 7.0);
+  // Clamped to [min, max], so any quantile of one sample is that sample.
+  EXPECT_EQ(h.p50(), 7.0);
+  EXPECT_EQ(h.p90(), 7.0);
+  EXPECT_EQ(h.p99(), 7.0);
+}
+
+TEST(Histogram, BucketIndexEdges) {
+  // Bucket 0: everything below 1, including negatives and NaN-safe input.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(0.5), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-100.0), 0u);
+  // Bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucket_index(1.0), 1u);
+  EXPECT_EQ(Histogram::bucket_index(1.999), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2.0), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3.999), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4.0), 3u);
+  // Overflow clamps to the last bucket.
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_lower(0), 0.0);
+  EXPECT_TRUE(std::isinf(Histogram::bucket_upper(Histogram::kBuckets - 1)));
+}
+
+TEST(Histogram, BucketBoundsRoundTrip) {
+  for (std::size_t i = 1; i + 1 < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower(i)), i) << i;
+  }
+}
+
+TEST(Histogram, QuantilesOrderedAndClamped) {
+  Histogram h;
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+  EXPECT_GE(h.p50(), h.min());
+  EXPECT_LE(h.p99(), h.max());
+  // p50 of 1..100 should land around the middle power-of-two bucket.
+  EXPECT_GT(h.p50(), 20.0);
+  EXPECT_LT(h.p50(), 80.0);
+}
+
+TEST(Histogram, OverflowSampleLandsInLastBucket) {
+  Histogram h;
+  h.observe(1e300);
+  EXPECT_EQ(h.buckets()[Histogram::kBuckets - 1], 1u);
+  EXPECT_EQ(h.max(), 1e300);
+  EXPECT_EQ(h.p99(), 1e300);  // clamped to max, not the bucket bound
+}
+
+TEST(Histogram, MergeAddsCountsAndExtremes) {
+  Histogram a, b;
+  a.observe(2.0);
+  b.observe(100.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 2.0);
+  EXPECT_EQ(a.max(), 100.0);
+  EXPECT_EQ(a.sum(), 102.0);
+}
+
+// --------------------------------------------------------------- Tracer
+
+TEST(Tracer, SpanLifecycle) {
+  Tracer t;
+  const auto id = t.begin(1, Phase::kRunning, sim::SimTime::millis(10));
+  t.annotate(id, "hosts", 3);
+  EXPECT_EQ(t.open_spans(), 1u);
+  t.end(id, sim::SimTime::millis(500), SpanStatus::kOk);
+  EXPECT_EQ(t.open_spans(), 0u);
+  ASSERT_EQ(t.spans().size(), 1u);
+  const Span& s = t.spans()[0];
+  EXPECT_EQ(s.request, 1u);
+  EXPECT_EQ(s.phase, Phase::kRunning);
+  EXPECT_EQ(s.status, SpanStatus::kOk);
+  EXPECT_EQ(s.begin.as_millis(), 10);
+  EXPECT_EQ(s.end.as_millis(), 500);
+  ASSERT_EQ(s.attrs.size(), 1u);
+  EXPECT_STREQ(s.attrs[0].key, "hosts");
+  EXPECT_EQ(s.attrs[0].value, 3.0);
+}
+
+TEST(Tracer, EndIsIdempotent) {
+  Tracer t;
+  const auto id = t.begin(1, Phase::kAdmission, sim::SimTime::millis(0));
+  t.end(id, sim::SimTime::millis(1), SpanStatus::kFail, "admission");
+  t.end(id, sim::SimTime::millis(9), SpanStatus::kOk);  // ignored
+  EXPECT_EQ(t.spans()[0].status, SpanStatus::kFail);
+  EXPECT_EQ(t.spans()[0].end.as_millis(), 1);
+  EXPECT_EQ(t.count(Phase::kAdmission, SpanStatus::kFail), 1u);
+}
+
+TEST(Tracer, EndOpenUnwindsNewestFirst) {
+  Tracer t;
+  const auto outer = t.begin(7, Phase::kRunning, sim::SimTime::millis(0));
+  const auto inner = t.begin(7, Phase::kRecovery, sim::SimTime::millis(5));
+  t.end_open(7, sim::SimTime::millis(9), SpanStatus::kAbort, "horizon");
+  EXPECT_EQ(t.open_spans(), 0u);
+  // Spans are stored in begin order; both closed with the given verdict.
+  EXPECT_EQ(t.spans()[outer].phase, Phase::kRunning);
+  EXPECT_EQ(t.spans()[inner].phase, Phase::kRecovery);
+  EXPECT_EQ(t.spans()[outer].status, SpanStatus::kAbort);
+  EXPECT_EQ(t.spans()[inner].status, SpanStatus::kAbort);
+}
+
+TEST(Tracer, FailuresExcludeRecoverySpans) {
+  Tracer t;
+  // A failed repair attempt inside a session that then fails: one recovery
+  // kFail span plus the terminal running kFail span, same cause.
+  t.instant(3, Phase::kRecovery, sim::SimTime::millis(50), SpanStatus::kFail,
+            "departure");
+  const auto run = t.begin(3, Phase::kRunning, sim::SimTime::millis(0));
+  t.end(run, sim::SimTime::millis(60), SpanStatus::kFail, "departure");
+  EXPECT_EQ(t.failures("departure"), 1u);  // the request failed once
+  EXPECT_EQ(t.count(Phase::kRecovery, SpanStatus::kFail), 1u);
+}
+
+TEST(Tracer, RetryIsNotAFailure) {
+  Tracer t;
+  t.instant(4, Phase::kAdmission, sim::SimTime::millis(1), SpanStatus::kRetry,
+            "admission");
+  t.instant(4, Phase::kAdmission, sim::SimTime::millis(2), SpanStatus::kFail,
+            "admission");
+  EXPECT_EQ(t.failures("admission"), 1u);
+  EXPECT_EQ(t.count(Phase::kAdmission, SpanStatus::kRetry), 1u);
+}
+
+// ------------------------------------------------------------ Exporters
+
+TEST(Export, SpanJsonGolden) {
+  Tracer t;
+  const auto id = t.begin(12, Phase::kDiscovery, sim::SimTime::millis(100));
+  // Annotated out of order: keys must come out sorted.
+  t.annotate(id, "latency_ms", 42.5);
+  t.annotate(id, "hops", 6);
+  t.end(id, sim::SimTime::millis(100), SpanStatus::kFail, "discovery");
+  EXPECT_EQ(to_json(t.spans()[0]),
+            "{\"attrs\":{\"hops\":6,\"latency_ms\":42.5},"
+            "\"begin_ms\":100,\"cause\":\"discovery\",\"end_ms\":100,"
+            "\"phase\":\"discovery\",\"request\":12,\"status\":\"fail\"}");
+}
+
+TEST(Export, TraceJsonlOneLinePerSpan) {
+  Tracer t;
+  t.instant(1, Phase::kTeardown, sim::SimTime::millis(5), SpanStatus::kOk);
+  t.instant(2, Phase::kTeardown, sim::SimTime::millis(6), SpanStatus::kOk);
+  const std::string out = trace_jsonl(t);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(Export, MetricsJsonGolden) {
+  MetricsRegistry r;
+  r.add("b.count", 2);
+  r.add("a.count", 1);
+  r.set("queue.depth", 3);
+  r.observe("rtt_ms", 2.0);
+  EXPECT_EQ(metrics_json(r),
+            "{\"counters\":{\"a.count\":1,\"b.count\":2},"
+            "\"gauges\":{\"queue.depth\":{\"high_water\":3,\"value\":3}},"
+            "\"histograms\":{\"rtt_ms\":{\"buckets\":[[2,1]],\"count\":1,"
+            "\"max\":2,\"mean\":2,\"min\":2,\"p50\":2,\"p90\":2,\"p99\":2,"
+            "\"sum\":2}}}\n");
+}
+
+TEST(Export, MetricsCsvShape) {
+  MetricsRegistry r;
+  r.add("x", 5);
+  r.observe("h", 1.5);
+  const std::string out = metrics_csv(r);
+  EXPECT_EQ(out.rfind("kind,name,field,value\n", 0), 0u);
+  EXPECT_NE(out.find("counter,x,value,5\n"), std::string::npos);
+  EXPECT_NE(out.find("histogram,h,count,1\n"), std::string::npos);
+  EXPECT_NE(out.find("histogram,h,p99,1.5\n"), std::string::npos);
+}
+
+// ----------------------------------------------- End-to-end grid tracing
+
+harness::GridConfig churn_config() {
+  harness::GridConfig c;
+  c.seed = 11;
+  c.peers = 300;
+  c.min_providers = 15;
+  c.max_providers = 30;
+  c.apps.applications = 6;
+  c.requests.rate_per_min = 30;
+  c.horizon = sim::SimTime::minutes(20);
+  c.sample_period = sim::SimTime::minutes(2);
+  c.churn.events_per_min = 6;
+  c.enable_recovery = true;
+  c.admission_retries = 1;
+  c.observe = true;
+  return c;
+}
+
+// The acceptance identity: every GridResult failure counter must be
+// reconstructible from the span stream — per cause, terminal kFail span
+// count == the counter.
+TEST(GridTracing, SpanFailuresMatchResultCounters) {
+  harness::GridSimulation grid(churn_config());
+  const auto r = grid.run();
+  ASSERT_NE(grid.tracer(), nullptr);
+  const Tracer& t = *grid.tracer();
+
+  EXPECT_GT(r.requests, 0u);
+  EXPECT_EQ(t.open_spans(), 0u);  // every span closed by run()
+  EXPECT_EQ(t.failures("discovery"), r.failures_discovery);
+  EXPECT_EQ(t.failures("composition"), r.failures_composition);
+  EXPECT_EQ(t.failures("selection"), r.failures_selection);
+  EXPECT_EQ(t.failures("admission"), r.failures_admission);
+  EXPECT_EQ(t.failures("departure"), r.failures_departure);
+  // Successful requests close their running span kOk (completion or
+  // horizon).
+  EXPECT_EQ(t.count(Phase::kRunning, SpanStatus::kOk), r.successes);
+  // Exercise enough of the space for the identity to mean something.
+  EXPECT_GT(r.failures_departure, 0u);
+}
+
+TEST(GridTracing, MetricsRegistryMatchesResult) {
+  harness::GridSimulation grid(churn_config());
+  const auto r = grid.run();
+  ASSERT_NE(grid.metrics(), nullptr);
+  MetricsRegistry& m = *grid.metrics();
+  EXPECT_EQ(m.counter("request.total").value, r.requests);
+  EXPECT_EQ(m.counter("churn.departures").value, r.churn_departures);
+  EXPECT_EQ(m.counter("churn.arrivals").value, r.churn_arrivals);
+  EXPECT_EQ(m.counter("session.recovered").value,
+            r.counters.get("sessions.recovered"));
+  EXPECT_GT(m.histogram("aggregate.lookup_hops").count(), 0u);
+  EXPECT_GT(m.histogram("probe.rtt_ms").count(), 0u);
+  EXPECT_GT(m.gauge("sim.event_queue_high_water").value, 0.0);
+}
+
+TEST(GridTracing, DisabledByDefaultAndResultUnchanged) {
+  auto cfg = churn_config();
+  cfg.observe = false;
+  harness::GridSimulation off(cfg);
+  EXPECT_EQ(off.tracer(), nullptr);
+  EXPECT_EQ(off.metrics(), nullptr);
+  const auto r_off = off.run();
+
+  harness::GridSimulation on(churn_config());
+  const auto r_on = on.run();
+  // Observation must not perturb the simulation.
+  EXPECT_EQ(r_off.requests, r_on.requests);
+  EXPECT_EQ(r_off.successes, r_on.successes);
+  EXPECT_EQ(r_off.failures_departure, r_on.failures_departure);
+}
+
+// Exported artifacts must be byte-identical regardless of how many
+// ExperimentRunner threads computed them.
+TEST(GridTracing, ExportsDeterministicAcrossThreadCounts) {
+  auto base = churn_config();
+  base.horizon = sim::SimTime::minutes(10);
+  std::vector<harness::ExperimentCell> cells;
+  for (auto& cell : harness::algorithm_comparison(base)) {
+    cells.push_back(std::move(cell));
+  }
+  const auto one = harness::ExperimentRunner(1).run(cells);
+  const auto many = harness::ExperimentRunner(8).run(cells);
+  ASSERT_EQ(one.size(), many.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_FALSE(one[i].metrics_json.empty());
+    EXPECT_FALSE(one[i].trace_jsonl.empty());
+    EXPECT_EQ(one[i].metrics_json, many[i].metrics_json) << one[i].label;
+    EXPECT_EQ(one[i].trace_jsonl, many[i].trace_jsonl) << one[i].label;
+  }
+}
+
+}  // namespace
+}  // namespace qsa::obs
