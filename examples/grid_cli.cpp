@@ -31,6 +31,10 @@ void print_usage() {
       "  --retries=K        admission retries (default 0)\n"
       "  --probe-budget=M   neighbors probed per peer (default 100)\n"
       "  --bw-weight=W      bandwidth importance weight (default uniform)\n"
+      "  --fault-loss=P     message loss probability on every channel\n"
+      "                     (default 0 = perfect messaging)\n"
+      "  --fault-delay-ms=D max extra delay on delivered messages (default 0)\n"
+      "  --fault-retries=K  resends per lost message (default 2)\n"
       "  --seed=S           root seed (default 42)\n"
       "  --csv              also emit the psi time series as CSV\n"
       "  --trace-out=FILE   write the per-request trace as JSON lines\n"
@@ -58,6 +62,10 @@ int main(int argc, char** argv) {
   cfg.probe_budget =
       static_cast<std::size_t>(flags.get_int("probe-budget", 100));
   cfg.bandwidth_weight = flags.get_double("bw-weight", -1);
+  cfg.faults.set_all_loss(flags.get_double("fault-loss", 0));
+  cfg.faults.max_extra_delay = sim::SimTime::millis(
+      static_cast<std::int64_t>(flags.get_int("fault-delay-ms", 0)));
+  cfg.faults.max_retries = static_cast<int>(flags.get_int("fault-retries", 2));
   const std::string trace_out = flags.get("trace-out", "");
   const std::string metrics_out = flags.get("metrics-out", "");
   cfg.observe = !trace_out.empty() || !metrics_out.empty();

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "qsa/core/aggregate.hpp"
+#include "qsa/fault/fault.hpp"
 #include "qsa/sim/time.hpp"
 #include "qsa/workload/apps.hpp"
 #include "qsa/workload/churn.hpp"
@@ -74,6 +75,12 @@ struct GridConfig {
   /// end-system resource kinds. Negative = uniform over all m+1 terms (the
   /// paper's experiments distribute importance weights uniformly).
   double bandwidth_weight = -1;
+
+  // --- fault injection ---
+  /// Message loss/delay/retry knobs (see qsa/fault/fault.hpp). Defaults are
+  /// fully off; a disabled config keeps every layer on the perfect-messaging
+  /// fast path and the run byte-identical to one without the subsystem.
+  fault::FaultConfig faults;
 
   // --- run control ---
   sim::SimTime horizon = sim::SimTime::minutes(400);

@@ -53,6 +53,14 @@ GridSimulation::GridSimulation(GridConfig config)
   manager_ = std::make_unique<session::SessionManager>(simulator_, *peers_,
                                                        *network_, catalog_);
 
+  if (config_.faults.enabled()) {
+    fault_plan_ = std::make_unique<fault::FaultPlan>(
+        util::derive_seed(config_.seed, "fault", 0), config_.faults);
+    ring_->set_faults(fault_plan_.get());
+    neighbors_->set_faults(fault_plan_.get());
+    manager_->set_faults(fault_plan_.get());
+  }
+
   if (config_.observe) {
     tracer_ = std::make_unique<obs::Tracer>();
     metrics_ = std::make_unique<obs::MetricsRegistry>();
@@ -64,6 +72,9 @@ GridSimulation::GridSimulation(GridConfig config)
     composition_cost_hist_ =
         &metrics_->histogram("aggregate.composition_cost");
     path_length_hist_ = &metrics_->histogram("aggregate.path_length");
+    // Gated on the plan so that with faults off no fault.* metric name is
+    // ever registered and exported output stays identical.
+    if (fault_plan_ != nullptr) fault_plan_->set_metrics(metrics_.get());
   }
 
   const core::GridServices services{&catalog_,   &placement_, directory_.get(),
@@ -425,6 +436,30 @@ GridResult GridSimulation::run() {
   result_.counters.add("sessions.rejected", manager_->stats().rejected);
   result_.counters.add("events.executed", simulator_.executed_events());
   result_.counters.add("net.active_pairs", network_->active_pairs());
+
+  // Fault accounting, only when injection is on: with the plan disabled the
+  // counter set (and hence any exported output) is unchanged.
+  if (fault_plan_ != nullptr) {
+    const fault::FaultStats& fs = fault_plan_->stats();
+    const auto probe = static_cast<std::size_t>(fault::Channel::kProbe);
+    const auto notify = static_cast<std::size_t>(fault::Channel::kNotify);
+    const auto lookup = static_cast<std::size_t>(fault::Channel::kLookup);
+    const auto resv = static_cast<std::size_t>(fault::Channel::kReservation);
+    result_.counters.add("fault.messages", fs.total_attempts());
+    result_.counters.add("fault.dropped", fs.total_dropped());
+    result_.counters.add("probe.retries", fs.retries[probe] + fs.retries[notify]);
+    result_.counters.add("lookup.retries", fs.retries[lookup]);
+    result_.counters.add("lookup.rerouted", fs.rerouted);
+    result_.counters.add("session.recovery_retries", fs.retries[resv]);
+    if (metrics_ != nullptr) {
+      metrics_->add("fault.messages", fs.total_attempts());
+      metrics_->add("fault.dropped", fs.total_dropped());
+      metrics_->add("probe.retries", fs.retries[probe] + fs.retries[notify]);
+      metrics_->add("lookup.retries", fs.retries[lookup]);
+      metrics_->add("lookup.rerouted", fs.rerouted);
+      metrics_->add("session.recovery_retries", fs.retries[resv]);
+    }
+  }
 
   if (metrics_ != nullptr) {
     metrics_->add("request.total", result_.requests);

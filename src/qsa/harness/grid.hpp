@@ -11,6 +11,7 @@
 
 #include "qsa/core/aggregate.hpp"
 #include "qsa/core/baselines.hpp"
+#include "qsa/fault/fault.hpp"
 #include "qsa/harness/config.hpp"
 #include "qsa/metrics/counters.hpp"
 #include "qsa/metrics/timeseries.hpp"
@@ -103,6 +104,12 @@ class GridSimulation {
   }
   [[nodiscard]] const GridConfig& config() const noexcept { return config_; }
 
+  /// The fault-injection plan; non-null iff `config.faults` enables any
+  /// loss or delay.
+  [[nodiscard]] const fault::FaultPlan* faults() const noexcept {
+    return fault_plan_.get();
+  }
+
   /// The trace/metrics sinks; non-null iff `config.observe` is set.
   [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_.get(); }
   [[nodiscard]] obs::MetricsRegistry* metrics() noexcept {
@@ -148,6 +155,7 @@ class GridSimulation {
   std::unique_ptr<core::AggregationAlgorithm> algorithm_;
   std::unique_ptr<session::SessionManager> manager_;
   std::unique_ptr<core::PeerSelector> recovery_selector_;
+  std::unique_ptr<fault::FaultPlan> fault_plan_;
 
   util::Rng grid_rng_;
   util::Rng recovery_rng_;

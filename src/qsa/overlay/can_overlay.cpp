@@ -368,8 +368,21 @@ LookupStats CanOverlay::route(Key key, net::PeerId from,
     step[worst_dim] = worst_is_upper
                           ? wrap01(node.zone.hi[worst_dim])
                           : just_below(node.zone.lo[worst_dim]);
-    const int next = leaf_containing(step);
+    int next = leaf_containing(step);
     QSA_ASSERT(next != cur);
+    if (!deliver_hop(node.peer, tree_[static_cast<std::size_t>(next)].peer,
+                     stats, net)) {
+      // Greedy neighbor unreachable: reroute straight to the owner zone
+      // (the wider search a node falls back to after a timeout).
+      const int owner = leaf_containing(target);
+      if (owner == next) return stats;  // owner itself unreachable: failed
+      note_reroute();
+      if (!deliver_hop(node.peer, tree_[static_cast<std::size_t>(owner)].peer,
+                       stats, net)) {
+        return stats;  // lookup failed; owner stays kNoPeer
+      }
+      next = owner;
+    }
     if (net != nullptr) {
       stats.latency += net->latency(node.peer,
                                     tree_[static_cast<std::size_t>(next)].peer);
@@ -380,6 +393,10 @@ LookupStats CanOverlay::route(Key key, net::PeerId from,
   // Greedy routing can dither around a wrap seam; fall back to the direct
   // owner with one accounted hop, as a real node would after a timeout.
   const int owner = leaf_containing(target);
+  if (!deliver_hop(tree_[static_cast<std::size_t>(cur)].peer,
+                   tree_[static_cast<std::size_t>(owner)].peer, stats, net)) {
+    return stats;  // lookup failed; owner stays kNoPeer
+  }
   if (net != nullptr) {
     stats.latency += net->latency(tree_[static_cast<std::size_t>(cur)].peer,
                                   tree_[static_cast<std::size_t>(owner)].peer);

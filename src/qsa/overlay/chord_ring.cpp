@@ -115,7 +115,13 @@ LookupStats ChordRing::route(ChordKey key, net::PeerId from,
       return stats;
     }
     if (in_interval_oc(cur->first, next_on_ring->first, key)) {
-      // The key lives on our immediate successor: final hop.
+      // The key lives on our immediate successor: final hop. The successor
+      // is the only correct destination, so a dropped message here has no
+      // alternate route — the retries inside deliver_hop are the budget.
+      if (!deliver_hop(cur->second.peer, next_on_ring->second.peer, stats,
+                       net)) {
+        return stats;  // owner stays kNoPeer: the lookup failed
+      }
       if (net != nullptr) {
         stats.latency +=
             net->latency(cur->second.peer, next_on_ring->second.peer);
@@ -124,8 +130,11 @@ LookupStats ChordRing::route(ChordKey key, net::PeerId from,
       stats.owner = next_on_ring->second.peer;
       return stats;
     }
-    // Closest preceding live finger.
+    // Closest preceding live finger; the runner-up (next qualifying finger,
+    // else the successor walk) is kept as the alternate route for when the
+    // hop message to the primary is lost.
     Ring::const_iterator next = ring_.end();
+    Ring::const_iterator alternate = ring_.end();
     for (int i = kKeyBits - 1; i >= 0; --i) {
       const ChordKey f = cur->second.fingers.empty()
                              ? cur->first
@@ -134,10 +143,29 @@ LookupStats ChordRing::route(ChordKey key, net::PeerId from,
       if (!in_interval_oo(cur->first, key, f)) continue;
       auto fnode = ring_.find(f);
       if (fnode == ring_.end()) continue;  // stale finger: node departed
-      next = fnode;
-      break;
+      if (next == ring_.end()) {
+        next = fnode;
+        if (!faults_active()) break;  // no alternate needed
+        continue;
+      }
+      if (fnode != next) {
+        alternate = fnode;
+        break;
+      }
     }
-    if (next == ring_.end()) next = next_on_ring;  // successor-walk fallback
+    if (next == ring_.end()) {
+      next = next_on_ring;  // successor-walk fallback
+    } else if (alternate == ring_.end() && next != next_on_ring) {
+      alternate = next_on_ring;
+    }
+    if (!deliver_hop(cur->second.peer, next->second.peer, stats, net)) {
+      if (alternate == ring_.end()) return stats;  // lookup failed
+      note_reroute();
+      if (!deliver_hop(cur->second.peer, alternate->second.peer, stats, net)) {
+        return stats;  // alternate unreachable too: lookup failed
+      }
+      next = alternate;
+    }
     if (net != nullptr) {
       stats.latency += net->latency(cur->second.peer, next->second.peer);
     }

@@ -1,0 +1,27 @@
+#include "qsa/overlay/lookup.hpp"
+
+namespace qsa::overlay {
+
+bool LookupService::deliver_hop(net::PeerId a, net::PeerId b,
+                                LookupStats& stats,
+                                const net::NetworkModel* net) const {
+  if (!faults_active()) return true;
+  const int budget = faults_->config().max_retries;
+  for (int send = 0; send <= budget; ++send) {
+    const fault::Delivery d = faults_->attempt(fault::Channel::kLookup, a, b);
+    if (d.delivered) {
+      stats.latency += d.extra_delay;
+      return true;
+    }
+    // The message vanished: the hop was still paid for, and the sender sits
+    // out a timeout (modeled as the pair latency) before resending.
+    ++stats.hops;
+    if (net != nullptr) stats.latency += net->latency(a, b);
+    if (send < budget) {
+      stats.latency += faults_->backoff(fault::Channel::kLookup, send + 1);
+    }
+  }
+  return false;
+}
+
+}  // namespace qsa::overlay

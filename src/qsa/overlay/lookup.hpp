@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "qsa/fault/fault.hpp"
 #include "qsa/net/network.hpp"
 #include "qsa/net/peer.hpp"
 #include "qsa/sim/time.hpp"
@@ -23,6 +24,11 @@ struct LookupStats {
   net::PeerId owner = net::kNoPeer;  ///< peer responsible for the key
   int hops = 0;                      ///< application-level routing hops
   sim::SimTime latency;              ///< summed per-hop network latency
+
+  /// True when routing reached an owner. Under fault injection a lookup
+  /// whose hop messages all got dropped (primary, alternate and every
+  /// retry) fails instead of silently succeeding.
+  [[nodiscard]] bool ok() const noexcept { return owner != net::kNoPeer; }
 };
 
 class LookupService {
@@ -54,6 +60,35 @@ class LookupService {
 
   /// Oracle owner of a key (for tests and safety fallbacks).
   [[nodiscard]] virtual net::PeerId owner_of(Key key) const = 0;
+
+  /// Attaches the fault-injection plan (null = perfect messaging, the
+  /// default). Routing then pays for dropped hop messages with retries,
+  /// reroutes through alternates, and may fail a lookup outright.
+  void set_faults(const fault::FaultPlan* faults) noexcept {
+    faults_ = faults;
+  }
+
+ protected:
+  /// Delivers one routing-hop message from `a` to `b` under the fault plan:
+  /// up to 1 + max_retries sends, each drop charging a wasted hop, the pair
+  /// latency (the sender's timeout) and exponential backoff into `stats`.
+  /// Returns false when every attempt was lost. Free when no plan is
+  /// attached or the plan is disabled.
+  bool deliver_hop(net::PeerId a, net::PeerId b, LookupStats& stats,
+                   const net::NetworkModel* net) const;
+
+  /// True when hop messages can actually fail.
+  [[nodiscard]] bool faults_active() const noexcept {
+    return faults_ != nullptr && faults_->enabled();
+  }
+
+  /// Accounts a reroute through an alternate neighbor (no-op untracked).
+  void note_reroute() const noexcept {
+    if (faults_ != nullptr) faults_->note_reroute();
+  }
+
+ private:
+  const fault::FaultPlan* faults_ = nullptr;
 };
 
 }  // namespace qsa::overlay

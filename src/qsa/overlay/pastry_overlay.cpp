@@ -164,6 +164,24 @@ LookupStats PastryOverlay::route(Key key, net::PeerId from,
     ++stats.hops;
     cur = next;
   };
+  // Fault-aware hop: deliver the routing message (paying for drops and
+  // retries), falling back to the numerically-closest node as the alternate
+  // route when the primary stays unreachable. Returns false when the hop —
+  // and with it the whole lookup — failed.
+  auto try_hop = [&](Ring::const_iterator next) {
+    if (deliver_hop(cur->second.peer, next->second.peer, stats, net)) {
+      hop_to(next);
+      return true;
+    }
+    const auto alternate = node_nearest(key);
+    if (alternate == next || alternate == cur) return false;
+    note_reroute();
+    if (!deliver_hop(cur->second.peer, alternate->second.peer, stats, net)) {
+      return false;
+    }
+    hop_to(alternate);
+    return true;
+  };
 
   const int max_hops = kDigits + 8;
   while (stats.hops <= max_hops) {
@@ -212,7 +230,10 @@ LookupStats PastryOverlay::route(Key key, net::PeerId from,
       }
       const auto next = ring_.find(best_id);
       QSA_ASSERT(next != ring_.end());
-      hop_to(next);
+      // Final hop to the arc-wide owner: it is the only correct
+      // destination, so try_hop's alternate (the same node) cannot help
+      // and the retry budget is all there is.
+      if (!try_hop(next)) return stats;  // owner stays kNoPeer
       stats.owner = cur->second.peer;
       return stats;
     }
@@ -257,11 +278,11 @@ LookupStats PastryOverlay::route(Key key, net::PeerId from,
       // Routing state too stale: a real node would fall back to expanding
       // its leaf set; we charge one hop and deliver to the oracle owner.
       const auto owner = node_nearest(key);
-      hop_to(owner);
+      if (!try_hop(owner)) return stats;  // owner stays kNoPeer
       stats.owner = cur->second.peer;
       return stats;
     }
-    hop_to(next);
+    if (!try_hop(next)) return stats;  // owner stays kNoPeer
   }
   const auto owner = node_nearest(key);
   stats.owner = owner->second.peer;

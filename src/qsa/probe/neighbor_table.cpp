@@ -24,21 +24,38 @@ bool NeighborTable::add(net::PeerId peer, std::uint8_t hop, NeighborKind kind,
   if (entries_.size() >= budget_) {
     // Evict the lowest-benefit entry, breaking ties towards the one expiring
     // soonest — but never evict something more beneficial than the newcomer.
-    auto victim = entries_.end();
+    // Every comparison level ends with a PeerId tiebreak: iteration order of
+    // the unordered_map differs across standard libraries, so without a
+    // total order the evicted peer (and everything downstream of the table's
+    // contents) would not be reproducible.
+    auto victim = entries_.end();    // worst live entry
+    auto expired = entries_.end();   // longest-expired entry, if any
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
       if (it->second.expires <= now) {
-        victim = it;  // expired: free to reuse regardless of rank
-        break;
+        if (expired == entries_.end() ||
+            it->second.expires < expired->second.expires ||
+            (it->second.expires == expired->second.expires &&
+             it->first > expired->first)) {
+          expired = it;  // expired: free to reuse regardless of rank
+        }
+        continue;
       }
-      if (victim == entries_.end() ||
-          benefit_rank(it->second.hop, it->second.kind) >
-              benefit_rank(victim->second.hop, victim->second.kind) ||
-          (benefit_rank(it->second.hop, it->second.kind) ==
-               benefit_rank(victim->second.hop, victim->second.kind) &&
-           it->second.expires < victim->second.expires)) {
+      if (victim == entries_.end()) {
+        victim = it;
+        continue;
+      }
+      const int it_rank = benefit_rank(it->second.hop, it->second.kind);
+      const int victim_rank =
+          benefit_rank(victim->second.hop, victim->second.kind);
+      if (it_rank > victim_rank ||
+          (it_rank == victim_rank &&
+           (it->second.expires < victim->second.expires ||
+            (it->second.expires == victim->second.expires &&
+             it->first > victim->first)))) {
         victim = it;
       }
     }
+    if (expired != entries_.end()) victim = expired;
     QSA_ASSERT(victim != entries_.end());
     const bool victim_expired = victim->second.expires <= now;
     if (!victim_expired &&

@@ -18,6 +18,11 @@ namespace qsa::probe {
 
 enum class NeighborKind : std::uint8_t { kDirect, kIndirect };
 
+/// Largest hop index an entry can carry: `NeighborEntry::hop` is a
+/// std::uint8_t, so callers registering a path must keep its length within
+/// this bound or the hop distance would silently wrap.
+inline constexpr std::size_t kMaxHopIndex = 255;
+
 struct NeighborEntry {
   std::uint8_t hop = 1;  ///< i-hop distance along the aggregation flow
   NeighborKind kind = NeighborKind::kDirect;

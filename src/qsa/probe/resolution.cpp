@@ -16,13 +16,31 @@ void NeighborResolution::set_metrics(obs::MetricsRegistry* metrics,
   net_ = net;
   if (metrics == nullptr) {
     notifications_ = nullptr;
+    stale_hits_ = nullptr;
     staleness_at_use_ = nullptr;
     probe_rtt_ = nullptr;
     return;
   }
   notifications_ = &metrics->counter("probe.notifications");
+  stale_hits_ = &metrics->counter("probe.stale_hits");
   staleness_at_use_ = &metrics->histogram("probe.staleness_at_use_ms");
   probe_rtt_ = &metrics->histogram("probe.rtt_ms");
+}
+
+fault::Delivery NeighborResolution::send_soft_state(fault::Channel ch,
+                                                    net::PeerId a,
+                                                    net::PeerId b,
+                                                    bool count_first_send) {
+  if (count_first_send) ++messages_;
+  if (faults_ == nullptr || !faults_->enabled()) return {};
+  const int budget = faults_->config().max_retries;
+  for (int send = 0; send <= budget; ++send) {
+    if (send > 0) ++messages_;  // every resend is real protocol overhead
+    const fault::Delivery d = faults_->attempt(ch, a, b);
+    if (d.delivered) return d;
+    if (send < budget) (void)faults_->backoff(ch, send + 1);
+  }
+  return {false, sim::SimTime::zero()};
 }
 
 NeighborTable& NeighborResolution::table(net::PeerId peer) {
@@ -37,17 +55,23 @@ void NeighborResolution::register_path(
     net::PeerId requester,
     std::span<const std::vector<net::PeerId>> hop_candidates,
     sim::SimTime now) {
+  // NeighborEntry::hop is a uint8_t: a path longer than kMaxHopIndex would
+  // silently wrap the hop distance (and with it the benefit ranking).
+  QSA_EXPECTS(hop_candidates.size() <= kMaxHopIndex);
   const std::uint64_t before = messages_;
   NeighborTable& mine = table(requester);
   for (std::size_t i = 0; i < hop_candidates.size(); ++i) {
     const auto hop = static_cast<std::uint8_t>(i + 1);
     for (net::PeerId candidate : hop_candidates[i]) {
+      const fault::Delivery d = send_soft_state(fault::Channel::kNotify,
+                                                requester, candidate, true);
+      if (!d.delivered) continue;  // entry stays unregistered (soft state)
       mine.add(candidate, hop, NeighborKind::kDirect, now, ttl_);
-      ++messages_;  // the notification to this candidate
       if (probe_rtt_ != nullptr && net_ != nullptr) {
         probe_rtt_->observe(
             2 * static_cast<double>(net_->latency(requester, candidate)
-                                        .as_millis()));
+                                        .as_millis()) +
+            static_cast<double>(d.extra_delay.as_millis()));
       }
     }
     // Each hop-i candidate is notified about every hop-(i+1) candidate;
@@ -72,12 +96,22 @@ void NeighborResolution::prepare_selection(
   for (net::PeerId candidate : candidates) {
     if (staleness_at_use_ != nullptr) {
       // Entry age at the moment the selector consults it, before this
-      // refresh resets the soft-state deadline.
-      if (auto it = t.entries().find(candidate);
-          it != t.entries().end() && it->second.expires > now) {
+      // refresh resets the soft-state deadline. Expired entries are observed
+      // too — at their full TTL-exceeded age — so the histogram reflects how
+      // stale the soft state actually got, not just the fresh cases.
+      if (auto it = t.entries().find(candidate); it != t.entries().end()) {
         staleness_at_use_->observe(static_cast<double>(
             (ttl_ - (it->second.expires - now)).as_millis()));
+        if (it->second.expires <= now && stale_hits_ != nullptr) {
+          stale_hits_->add();
+        }
       }
+    }
+    // The refresh is itself a probe message; when it is lost on every
+    // attempt the entry keeps its old deadline and decays toward stale.
+    if (!send_soft_state(fault::Channel::kProbe, selector, candidate, false)
+             .delivered) {
+      continue;
     }
     t.add(candidate, entry_hop, kind, now, ttl_);
   }

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "qsa/fault/fault.hpp"
 #include "qsa/obs/registry.hpp"
 #include "qsa/probe/neighbor_table.hpp"
 
@@ -40,11 +41,21 @@ class NeighborResolution {
 
   /// Attaches observability (optional; null detaches). Records
   /// `probe.notifications` (counter), `probe.staleness_at_use_ms`
-  /// (histogram: entry age when a selector consults it) and — when `net` is
-  /// given — `probe.rtt_ms` (histogram: round-trip of each direct
-  /// notification).
+  /// (histogram: entry age when a selector consults it),
+  /// `probe.stale_hits` (counter: consults that found the entry already
+  /// TTL-expired) and — when `net` is given — `probe.rtt_ms` (histogram:
+  /// round-trip of each direct notification).
   void set_metrics(obs::MetricsRegistry* metrics,
                    const net::NetworkModel* net = nullptr);
+
+  /// Attaches the fault-injection plan (null = perfect messaging, the
+  /// default). Notifications and soft-state refreshes are then resent up to
+  /// the retry budget with exponential backoff; a message lost on every
+  /// attempt leaves the table entry unregistered/unrefreshed, so it goes
+  /// stale exactly as the real soft-state protocol would.
+  void set_faults(const fault::FaultPlan* faults) noexcept {
+    faults_ = faults;
+  }
 
   /// The (lazily created) neighbor table of a peer.
   [[nodiscard]] NeighborTable& table(net::PeerId peer);
@@ -75,15 +86,26 @@ class NeighborResolution {
   [[nodiscard]] sim::SimTime ttl() const noexcept { return ttl_; }
 
  private:
+  /// Delivers one soft-state message from `a` to `b` on `ch`, resending up
+  /// to the plan's retry budget. Resends always count into `messages_`; the
+  /// first send only when `count_first_send` (refreshes materialized by
+  /// prepare_selection were already accounted by register_path's fan-out).
+  /// Returns the delivery of the first successful send, or `delivered ==
+  /// false` when every attempt was lost. Trivially succeeds without a plan.
+  fault::Delivery send_soft_state(fault::Channel ch, net::PeerId a,
+                                  net::PeerId b, bool count_first_send);
+
   std::size_t budget_;
   sim::SimTime ttl_;
   std::unordered_map<net::PeerId, NeighborTable> tables_;
   std::uint64_t messages_ = 0;
+  const fault::FaultPlan* faults_ = nullptr;
 
   // Observability handles; all null when detached (the disabled path is a
   // pointer test, no allocation).
   const net::NetworkModel* net_ = nullptr;
   obs::Counter* notifications_ = nullptr;
+  obs::Counter* stale_hits_ = nullptr;
   obs::Histogram* staleness_at_use_ = nullptr;
   obs::Histogram* probe_rtt_ = nullptr;
 };

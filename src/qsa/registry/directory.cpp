@@ -44,8 +44,12 @@ Discovery ServiceDirectory::discover(ServiceId service, net::PeerId from,
   const overlay::LookupStats stats = ring_.route(key, from, net);
   d.hops = stats.hops;
   d.latency = stats.latency;
-  for (std::uint64_t v : ring_.get(key)) {
-    d.instances.push_back(static_cast<InstanceId>(v));
+  if (stats.ok()) {
+    // Under fault injection a lookup whose hop messages were all lost never
+    // reaches an owner: the discovery comes back empty (but still paid for).
+    for (std::uint64_t v : ring_.get(key)) {
+      d.instances.push_back(static_cast<InstanceId>(v));
+    }
   }
   if (lookups_ != nullptr) {
     lookups_->add();

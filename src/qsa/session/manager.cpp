@@ -201,6 +201,21 @@ bool SessionManager::try_recover(SessionId id, net::PeerId failed) {
   return repaired;
 }
 
+bool SessionManager::reservation_rtt(net::PeerId a, net::PeerId b) {
+  if (faults_ == nullptr || !faults_->enabled()) return true;
+  const int budget = faults_->config().max_retries;
+  for (int send = 0; send <= budget; ++send) {
+    if (faults_->attempt(fault::Channel::kReservation, a, b).delivered) {
+      return true;
+    }
+    // The round-trip timed out; back off before asking again.
+    if (send < budget) {
+      (void)faults_->backoff(fault::Channel::kReservation, send + 1);
+    }
+  }
+  return false;
+}
+
 bool SessionManager::recover_hosts(Session& s, net::PeerId failed) {
   if (s.requester == failed) return false;  // nothing to deliver to
 
@@ -226,7 +241,10 @@ bool SessionManager::recover_hosts(Session& s, net::PeerId failed) {
   for (std::size_t i = 0; i < new_hosts.size() && ok; ++i) {
     if (s.hosts[i] == new_hosts[i]) continue;
     const auto& inst = catalog_.instance(s.instances[i]);
-    if (peers_.try_reserve(new_hosts[i], inst.resources, now)) {
+    // The reservation request itself travels over the faulty network: a
+    // round-trip lost beyond the retry budget reads as the host refusing.
+    if (reservation_rtt(s.requester, new_hosts[i]) &&
+        peers_.try_reserve(new_hosts[i], inst.resources, now)) {
       added.push_back(HostReservation{new_hosts[i], inst.resources});
     } else {
       ok = false;
@@ -251,7 +269,8 @@ bool SessionManager::recover_hosts(Session& s, net::PeerId failed) {
     const net::PeerId from = new_hosts[i];
     const net::PeerId to =
         i + 1 < new_hosts.size() ? new_hosts[i + 1] : s.requester;
-    if (net_.try_reserve(from, to, inst.bandwidth_kbps, now)) {
+    if (reservation_rtt(from, to) &&
+        net_.try_reserve(from, to, inst.bandwidth_kbps, now)) {
       new_links.push_back(LinkReservation{from, to, inst.bandwidth_kbps});
     } else {
       ok = false;

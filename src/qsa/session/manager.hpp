@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "qsa/core/aggregate.hpp"
+#include "qsa/fault/fault.hpp"
 #include "qsa/net/network.hpp"
 #include "qsa/net/peer.hpp"
 #include "qsa/obs/registry.hpp"
@@ -65,6 +66,14 @@ class SessionManager {
   /// baseline behaviour) any participant departure aborts the session.
   void set_recovery(RecoveryFn fn) { recovery_ = std::move(fn); }
 
+  /// Attaches the fault-injection plan (null = perfect messaging, the
+  /// default). Recovery's reservation round-trips may then time out and be
+  /// retried with backoff; a round-trip lost on every attempt makes that
+  /// repair step fail as if the resources were unavailable.
+  void set_faults(const fault::FaultPlan* faults) noexcept {
+    faults_ = faults;
+  }
+
   /// Attempts to admit `plan` for `request`. On success the session runs
   /// until now + session_duration (its end event is scheduled) and kNone is
   /// returned; otherwise kAdmission, with every partial reservation rolled
@@ -100,6 +109,11 @@ class SessionManager {
   bool try_recover(SessionId id, net::PeerId failed);
   /// The repair itself: replacement proposal + reservation migration.
   bool recover_hosts(Session& s, net::PeerId failed);
+  /// Completes one reservation round-trip between `a` and `b` under the
+  /// fault plan: a lost message is a timeout, retried with backoff up to the
+  /// budget. Returns false when every attempt was lost (the repair step is
+  /// then treated as a reservation failure). Trivially true without a plan.
+  bool reservation_rtt(net::PeerId a, net::PeerId b);
   void unindex(const Session& s);
   void index(const Session& s);
 
@@ -109,6 +123,7 @@ class SessionManager {
   const registry::ServiceCatalog& catalog_;
   OutcomeCallback outcome_;
   RecoveryFn recovery_;
+  const fault::FaultPlan* faults_ = nullptr;
 
   obs::Tracer* tracer_ = nullptr;
   obs::Gauge* active_gauge_ = nullptr;

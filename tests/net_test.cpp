@@ -243,6 +243,20 @@ TEST(NetworkModel, LoopbackUnconstrained) {
   EXPECT_EQ(net.latency(5, 5), SimTime::zero());
 }
 
+TEST(NetworkModel, SelfLoopReserveAlwaysAdmitsAndReleases) {
+  // Consecutive path hops can land on one host (or the sink can be the
+  // requester itself): the a==b link is loopback, effectively unconstrained,
+  // and reserve/release must round-trip without touching real pairs.
+  NetworkModel net(1, clock30());
+  EXPECT_TRUE(net.try_reserve(5, 5, 500'000, SimTime::zero()));
+  EXPECT_TRUE(net.try_reserve(5, 5, 500'000, SimTime::zero()));
+  EXPECT_GE(net.available_kbps(5, 5), 1e9 - 1'000'000);
+  net.release(5, 5, 500'000, SimTime::zero());
+  net.release(5, 5, 500'000, SimTime::zero());
+  EXPECT_GE(net.available_kbps(5, 5), 1e9);
+  EXPECT_EQ(net.latency(5, 5), SimTime::zero());
+}
+
 TEST(NetworkModel, ReserveAndRelease) {
   NetworkModel net(1, clock30());
   // Find a 10 Mbps pair so there is room.

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "qsa/probe/neighbor_table.hpp"
@@ -149,6 +150,57 @@ TEST(NeighborTable, ExpiredEntriesAreReusedBeforeEviction) {
   EXPECT_TRUE(t.knows(3, SimTime::minutes(5)));
 }
 
+TEST(NeighborTable, EvictionTiesBreakDeterministically) {
+  // A multi-way tie (same benefit rank, same deadline) must evict the same
+  // peer regardless of insertion order: unordered_map iteration order is a
+  // stdlib implementation detail, and simulation results must not be. The
+  // canonical victim is the tied entry with the largest PeerId.
+  const std::vector<PeerId> peers{7, 3, 11, 5};
+  std::vector<PeerId> order = peers;
+  do {
+    NeighborTable t(4);
+    for (PeerId p : order) {
+      t.add(p, 2, NeighborKind::kIndirect, SimTime::zero(),
+            SimTime::minutes(10));
+    }
+    EXPECT_TRUE(t.add(100, 1, NeighborKind::kDirect, SimTime::zero(),
+                      SimTime::minutes(10)));
+    EXPECT_FALSE(t.knows(11, SimTime::zero())) << "victim not canonical";
+    for (PeerId p : {3, 5, 7}) {
+      EXPECT_TRUE(t.knows(p, SimTime::zero()));
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(NeighborTable, ExpiredTiesBreakDeterministically) {
+  // Same for the expired-reuse path: among equally-expired entries the one
+  // with the largest PeerId is reclaimed, in every insertion order.
+  std::vector<PeerId> order{4, 9, 2};
+  std::sort(order.begin(), order.end());
+  do {
+    NeighborTable t(3);
+    for (PeerId p : order) {
+      t.add(p, 1, NeighborKind::kDirect, SimTime::zero(), SimTime::minutes(1));
+    }
+    EXPECT_TRUE(t.add(50, 3, NeighborKind::kIndirect, SimTime::minutes(5),
+                      SimTime::minutes(10)));
+    EXPECT_EQ(t.entries().count(9), 0u) << "victim not canonical";
+    EXPECT_EQ(t.entries().count(2), 1u);
+    EXPECT_EQ(t.entries().count(4), 1u);
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(NeighborTable, LongestExpiredIsReclaimedFirst) {
+  NeighborTable t(2);
+  t.add(1, 1, NeighborKind::kDirect, SimTime::zero(), SimTime::minutes(1));
+  t.add(2, 1, NeighborKind::kDirect, SimTime::zero(), SimTime::minutes(3));
+  // Both are expired at t=10; the one that expired first (peer 1) goes.
+  EXPECT_TRUE(t.add(3, 1, NeighborKind::kDirect, SimTime::minutes(10),
+                    SimTime::minutes(10)));
+  EXPECT_EQ(t.entries().count(1), 0u);
+  EXPECT_EQ(t.entries().count(2), 1u);
+}
+
 TEST(NeighborTable, PurgeDropsExpired) {
   NeighborTable t(10);
   t.add(1, 1, NeighborKind::kDirect, SimTime::zero(), SimTime::minutes(1));
@@ -206,6 +258,32 @@ TEST(NeighborResolution, PrepareSelectionDirectKeepsHopIndex) {
   res.prepare_selection(1, candidates, 3, /*direct=*/true, SimTime::zero());
   EXPECT_EQ(res.table(1).entries().at(40).hop, 3);
   EXPECT_EQ(res.table(1).entries().at(40).kind, NeighborKind::kDirect);
+}
+
+TEST(NeighborResolution, PathAtHopIndexBoundaryIsAccepted) {
+  NeighborResolution res(300, SimTime::minutes(90));
+  // kMaxHopIndex hops: the last entry's hop distance is exactly 255.
+  std::vector<std::vector<PeerId>> hops(kMaxHopIndex);
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    hops[i] = {static_cast<PeerId>(1000 + i)};
+  }
+  res.register_path(1, hops, SimTime::zero());
+  const auto& table = res.table(1);
+  EXPECT_EQ(table.entries().at(static_cast<PeerId>(1000)).hop, 1);
+  EXPECT_EQ(
+      table.entries().at(static_cast<PeerId>(1000 + kMaxHopIndex - 1)).hop,
+      255);
+}
+
+TEST(NeighborResolutionDeathTest, PathBeyondHopIndexBoundaryIsRejected) {
+  NeighborResolution res(300, SimTime::minutes(90));
+  // One hop past the uint8_t range: without the guard, hop 256 would wrap
+  // to 0 and corrupt the benefit ranking.
+  std::vector<std::vector<PeerId>> hops(kMaxHopIndex + 1);
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    hops[i] = {static_cast<PeerId>(1000 + i)};
+  }
+  EXPECT_DEATH(res.register_path(1, hops, SimTime::zero()), "precondition");
 }
 
 TEST(NeighborResolution, BudgetAppliesPerPeer) {

@@ -214,6 +214,107 @@ TEST_F(SessionFixture, ConcurrentSessionsSaturateThenFreeCapacity) {
 
 // ----------------------------------------------------- departure recovery
 
+TEST_F(SessionFixture, ConsecutiveInstancesOnOneHostUseTheSelfLoop) {
+  // Two consecutive path hops on the same host: the edge between them is the
+  // a==b loopback link. Admission must succeed and completion must return
+  // host, loopback and host->requester link to their full capacity.
+  const auto h = add_host();
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(5)),
+                                  make_plan({h, h})),
+            FailureCause::kNone);
+  EXPECT_EQ(peers.peer(h).available(), (ResourceVector{300, 300}));
+  EXPECT_LT(net.available_kbps(h, h), net.capacity_kbps(h, h));
+  simulator.run_until(SimTime::minutes(6));
+  EXPECT_EQ(manager.stats().completed, 1u);
+  EXPECT_EQ(peers.peer(h).available(), (ResourceVector{500, 500}));
+  EXPECT_DOUBLE_EQ(net.available_kbps(h, h), net.capacity_kbps(h, h));
+  EXPECT_DOUBLE_EQ(net.available_kbps(h, requester),
+                   net.capacity_kbps(h, requester));
+}
+
+TEST_F(SessionFixture, SinkOnRequesterUsesTheSelfLoop) {
+  // The requester hosts the sink instance itself: the final delivery edge
+  // sink->requester degenerates to requester==requester.
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(5)),
+                                  make_plan({requester})),
+            FailureCause::kNone);
+  EXPECT_EQ(peers.peer(requester).available(), (ResourceVector{400, 400}));
+  EXPECT_LT(net.available_kbps(requester, requester),
+            net.capacity_kbps(requester, requester));
+  simulator.run_until(SimTime::minutes(6));
+  EXPECT_EQ(manager.stats().completed, 1u);
+  EXPECT_EQ(peers.peer(requester).available(), (ResourceVector{500, 500}));
+  EXPECT_DOUBLE_EQ(net.available_kbps(requester, requester),
+                   net.capacity_kbps(requester, requester));
+}
+
+TEST_F(SessionFixture, RecoveryCollapsesPathOntoOneHost) {
+  // Both positions migrate to the same spare: the rebuilt path contains a
+  // self-loop edge. Recovery must admit it and account both reservations.
+  const auto h = add_host();
+  const auto spare = add_host();
+  manager.set_recovery([&](const Session&, std::size_t, PeerId) {
+    return spare;
+  });
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(30)),
+                                  make_plan({h, h})),
+            FailureCause::kNone);
+  manager.peer_departed(h);
+  peers.remove_peer(h, simulator.now());
+  ASSERT_EQ(manager.stats().recovered, 1u);
+  EXPECT_EQ(peers.peer(spare).available(), (ResourceVector{300, 300}));
+  EXPECT_LT(net.available_kbps(spare, spare), net.capacity_kbps(spare, spare));
+  simulator.run_until(SimTime::minutes(31));
+  EXPECT_EQ(manager.stats().completed, 1u);
+  EXPECT_EQ(peers.peer(spare).available(), (ResourceVector{500, 500}));
+  EXPECT_DOUBLE_EQ(net.available_kbps(spare, spare),
+                   net.capacity_kbps(spare, spare));
+}
+
+TEST_F(SessionFixture, RecoveryFailsWhenReservationMessagesAreLost) {
+  // A reservation round-trip that is lost on every attempt reads as a
+  // refusal: recovery gives up and the session aborts even though the spare
+  // had room.
+  const auto h = add_host();
+  const auto spare = add_host();
+  fault::FaultConfig cfg;
+  cfg.reservation_loss = 1.0;
+  const fault::FaultPlan plan(3, cfg);
+  manager.set_faults(&plan);
+  manager.set_recovery([&](const Session&, std::size_t, PeerId) {
+    return spare;
+  });
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(30)),
+                                  make_plan({h})),
+            FailureCause::kNone);
+  manager.peer_departed(h);
+  peers.remove_peer(h, simulator.now());
+  EXPECT_EQ(manager.stats().recovered, 0u);
+  EXPECT_EQ(manager.stats().aborted, 1u);
+  EXPECT_EQ(peers.peer(spare).available(), (ResourceVector{500, 500}));
+  EXPECT_GT(plan.stats().retries[static_cast<std::size_t>(
+                fault::Channel::kReservation)],
+            0u);
+}
+
+TEST_F(SessionFixture, LosslessFaultPlanLeavesRecoveryIntact) {
+  const auto h = add_host();
+  const auto spare = add_host();
+  fault::FaultConfig cfg;
+  cfg.max_extra_delay = sim::SimTime::millis(5);  // enabled, zero loss
+  const fault::FaultPlan plan(3, cfg);
+  manager.set_faults(&plan);
+  manager.set_recovery([&](const Session&, std::size_t, PeerId) {
+    return spare;
+  });
+  ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(30)),
+                                  make_plan({h})),
+            FailureCause::kNone);
+  manager.peer_departed(h);
+  peers.remove_peer(h, simulator.now());
+  EXPECT_EQ(manager.stats().recovered, 1u);
+}
+
 TEST_F(SessionFixture, RecoveryMigratesSessionToReplacement) {
   const auto h = add_host();
   const auto spare = add_host();
