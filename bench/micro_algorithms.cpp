@@ -81,16 +81,48 @@ void BM_QcsCompose(benchmark::State& state) {
   ComposeSetup setup(layers, k);
   core::QcsComposer composer(setup.catalog, qos::TupleWeights::uniform(2),
                              qos::ResourceSchema::paper());
-  std::size_t edges = 0;
+  std::size_t edges = 0, nodes_checked = 0;
   for (auto _ : state) {
     const auto result = composer.compose(setup.request);
     edges = result.edges_examined;
+    nodes_checked = result.nodes_checked;
     benchmark::DoNotOptimize(result.cost);
   }
   state.counters["edges"] = static_cast<double>(edges);
+  state.counters["nodes_checked"] = static_cast<double>(nodes_checked);
   state.SetComplexityN(layers * k * k);
 }
 BENCHMARK(BM_QcsCompose)
+    ->Args({2, 10})
+    ->Args({3, 15})
+    ->Args({5, 15})
+    ->Args({5, 20})
+    ->Args({5, 40});
+
+/// BM_QcsCompose with the qsa::cache memo tables attached — the steady-state
+/// cost of recomposing over a warm catalog (the grid's common case: many
+/// requests, one catalog). Compare against BM_QcsCompose per Args row for
+/// the cached/uncached throughput ratio.
+void BM_QcsComposeCached(benchmark::State& state) {
+  const int layers = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  ComposeSetup setup(layers, k);
+  core::QcsComposer composer(setup.catalog, qos::TupleWeights::uniform(2),
+                             qos::ResourceSchema::paper());
+  cache::ComposeCache cache;
+  composer.set_cache(&cache);
+  std::size_t edges = 0, nodes_checked = 0;
+  for (auto _ : state) {
+    const auto result = composer.compose(setup.request);
+    edges = result.edges_examined;
+    nodes_checked = result.nodes_checked;
+    benchmark::DoNotOptimize(result.cost);
+  }
+  state.counters["edges"] = static_cast<double>(edges);
+  state.counters["nodes_checked"] = static_cast<double>(nodes_checked);
+  state.SetComplexityN(layers * k * k);
+}
+BENCHMARK(BM_QcsComposeCached)
     ->Args({2, 10})
     ->Args({3, 15})
     ->Args({5, 15})

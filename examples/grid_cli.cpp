@@ -31,6 +31,11 @@ void print_usage() {
       "  --retries=K        admission retries (default 0)\n"
       "  --probe-budget=M   neighbors probed per peer (default 100)\n"
       "  --bw-weight=W      bandwidth importance weight (default uniform)\n"
+      "  --discovery-cache-ttl=S  requester-side discovery cache TTL in\n"
+      "                     seconds (default 0 = off; cached lookups cost\n"
+      "                     zero hops/latency until the entry expires)\n"
+      "  --no-compose-cache disable the compatibility/cost memo tables\n"
+      "                     (results are bit-identical either way)\n"
       "  --fault-loss=P     message loss probability on every channel\n"
       "                     (default 0 = perfect messaging)\n"
       "  --fault-delay-ms=D max extra delay on delivered messages (default 0)\n"
@@ -62,6 +67,9 @@ int main(int argc, char** argv) {
   cfg.probe_budget =
       static_cast<std::size_t>(flags.get_int("probe-budget", 100));
   cfg.bandwidth_weight = flags.get_double("bw-weight", -1);
+  cfg.discovery_cache_ttl =
+      sim::SimTime::seconds(flags.get_double("discovery-cache-ttl", 0));
+  cfg.compose_caches = !flags.get_bool("no-compose-cache", false);
   cfg.faults.set_all_loss(flags.get_double("fault-loss", 0));
   cfg.faults.max_extra_delay = sim::SimTime::millis(
       static_cast<std::int64_t>(flags.get_int("fault-delay-ms", 0)));

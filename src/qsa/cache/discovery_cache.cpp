@@ -1,0 +1,48 @@
+#include "qsa/cache/discovery_cache.hpp"
+
+namespace qsa::cache {
+
+void DiscoveryCache::set_ttl(sim::SimTime ttl) {
+  ttl_ = ttl;
+  if (!enabled()) entries_.clear();
+}
+
+const std::vector<registry::InstanceId>* DiscoveryCache::find(
+    registry::ServiceId service, sim::SimTime now) {
+  if (!enabled()) return nullptr;
+  const auto it = entries_.find(service);
+  if (it == entries_.end() || now >= it->second.expires) {
+    if (it != entries_.end()) entries_.erase(it);
+    if (misses_ != nullptr) misses_->add();
+    return nullptr;
+  }
+  if (hits_ != nullptr) hits_->add();
+  return &it->second.instances;
+}
+
+void DiscoveryCache::store(
+    registry::ServiceId service,
+    const std::vector<registry::InstanceId>& instances, sim::SimTime now) {
+  if (!enabled()) return;
+  entries_[service] = Entry{instances, now + ttl_};
+}
+
+void DiscoveryCache::invalidate() {
+  if (entries_.empty()) return;
+  entries_.clear();
+  if (invalidations_ != nullptr) invalidations_->add();
+}
+
+void DiscoveryCache::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    hits_ = nullptr;
+    misses_ = nullptr;
+    invalidations_ = nullptr;
+    return;
+  }
+  hits_ = &metrics->counter("cache.discovery.hits");
+  misses_ = &metrics->counter("cache.discovery.misses");
+  invalidations_ = &metrics->counter("cache.discovery.invalidations");
+}
+
+}  // namespace qsa::cache

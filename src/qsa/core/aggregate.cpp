@@ -29,12 +29,11 @@ bool discover_candidates(const GridServices& services,
                          const ServiceRequest& request, sim::SimTime now,
                          std::vector<std::vector<registry::InstanceId>>& out,
                          AggregationPlan& plan) {
-  (void)now;
   out.clear();
   out.reserve(request.abstract_path.size());
   for (registry::ServiceId service : request.abstract_path) {
-    registry::Discovery d =
-        services.directory->discover(service, request.requester, services.net);
+    registry::Discovery d = services.directory->discover(
+        service, request.requester, services.net, now);
     plan.lookup_hops += d.hops;
     plan.setup_latency += d.latency;
     if (d.instances.empty()) {
@@ -48,7 +47,8 @@ bool discover_candidates(const GridServices& services,
 
 QsaAlgorithm::QsaAlgorithm(GridServices services, qos::TupleWeights weights,
                            qos::ResourceSchema schema, std::uint64_t seed,
-                           QsaOptions options)
+                           QsaOptions options,
+                           cache::ComposeCache* compose_cache)
     : services_(services),
       composer_(*services.catalog, weights, schema),
       selector_(weights, schema, options.selector),
@@ -56,6 +56,7 @@ QsaAlgorithm::QsaAlgorithm(GridServices services, qos::TupleWeights weights,
       rng_(util::derive_seed(seed, "qsa-algorithm", 0)) {
   QSA_EXPECTS(services.catalog && services.placement && services.directory &&
               services.peers && services.net && services.neighbors);
+  composer_.set_cache(compose_cache);
 }
 
 AggregationPlan QsaAlgorithm::aggregate(const ServiceRequest& request,

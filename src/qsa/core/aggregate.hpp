@@ -40,8 +40,9 @@ struct ServiceRequest {
   qos::QosVector requirement;
   sim::SimTime session_duration;
   /// Hosts the caller has ruled out (admission-retry support: peers whose
-  /// reservation just failed on stale probe data). QSA's selection honors
-  /// this; the cost-blind baselines ignore it, as they ignore all state.
+  /// reservation just failed on stale probe data). Every algorithm honors
+  /// this — QSA's selection, random's uniform pick, and fixed's dedicated
+  /// host all skip excluded providers.
   std::vector<net::PeerId> excluded_hosts;
   /// Observability correlation id (the harness's 1-based request number).
   /// 0 = untraced; downstream layers (session manager) key their spans on
@@ -97,7 +98,8 @@ class QsaAlgorithm final : public AggregationAlgorithm {
  public:
   QsaAlgorithm(GridServices services, qos::TupleWeights weights,
                qos::ResourceSchema schema, std::uint64_t seed,
-               QsaOptions options = {});
+               QsaOptions options = {},
+               cache::ComposeCache* compose_cache = nullptr);
 
   [[nodiscard]] AggregationPlan aggregate(const ServiceRequest& request,
                                           sim::SimTime now) override;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "qsa/qos/satisfy.hpp"
 #include "qsa/util/expects.hpp"
 
 namespace qsa::core {
@@ -10,29 +9,47 @@ namespace {
 
 /// Backtracking DFS over the layered candidate graph, trying candidates in
 /// the order produced by `order` (which may shuffle). Fills `chosen`
-/// sink -> source; returns true on a full consistent path.
-bool dfs_path(const registry::ServiceCatalog& catalog,
-              const CompositionRequest& req,
+/// sink -> source; returns true on a full consistent path. Consistency
+/// checks go through the composer so they share its compatibility memo.
+bool dfs_path(const QcsComposer& composer, const CompositionRequest& req,
               std::vector<std::vector<registry::InstanceId>>& order,
               std::size_t layer_from_sink,
-              const qos::QosVector* downstream_qin,
+              const registry::ServiceInstance* downstream,
               std::vector<registry::InstanceId>& chosen) {
   const std::size_t layers = req.candidates.size();
   const std::size_t layer = layers - 1 - layer_from_sink;  // source index
   for (registry::InstanceId id : order[layer]) {
-    const auto& inst = catalog.instance(id);
+    const auto& inst = composer.catalog().instance(id);
     const bool consistent =
         layer_from_sink == 0
-            ? qos::satisfies(inst.qout, req.requirement)
-            : qos::satisfies(inst.qout, *downstream_qin);
+            ? composer.satisfies_requirement(inst, req.requirement)
+            : composer.compatible(inst, *downstream);
     if (!consistent) continue;
     chosen[layer] = id;
     if (layer == 0) return true;  // reached the source layer
-    if (dfs_path(catalog, req, order, layer_from_sink + 1, &inst.qin, chosen)) {
+    if (dfs_path(composer, req, order, layer_from_sink + 1, &inst, chosen)) {
       return true;
     }
   }
   return false;
+}
+
+/// The providers of `instance` that survive the request's exclusion list,
+/// in the placement map's (sorted) order. Order preservation matters: with
+/// no exclusions the result equals the raw provider list, so random picks
+/// draw the same RNG stream as before this filter existed.
+std::vector<net::PeerId> eligible_providers(
+    const registry::PlacementMap& placement, registry::InstanceId instance,
+    const std::vector<net::PeerId>& excluded) {
+  auto providers = placement.providers(instance);
+  std::vector<net::PeerId> eligible;
+  eligible.reserve(providers.size());
+  for (net::PeerId p : providers) {
+    if (std::find(excluded.begin(), excluded.end(), p) == excluded.end()) {
+      eligible.push_back(p);
+    }
+  }
+  return eligible;
 }
 
 CompositionResult compose_dfs(const QcsComposer& composer,
@@ -51,9 +68,7 @@ CompositionResult compose_dfs(const QcsComposer& composer,
   }
 
   std::vector<registry::InstanceId> chosen(layers, registry::kNoInstance);
-  // `composer` is only consulted for cost bookkeeping; the catalog it wraps
-  // drives the consistency checks.
-  if (!dfs_path(composer.catalog(), req, order, 0, nullptr, chosen)) {
+  if (!dfs_path(composer, req, order, 0, nullptr, chosen)) {
     return result;
   }
   result.success = true;
@@ -79,13 +94,14 @@ CompositionResult compose_first(const QcsComposer& composer,
 
 RandomAlgorithm::RandomAlgorithm(GridServices services,
                                  qos::TupleWeights weights,
-                                 qos::ResourceSchema schema,
-                                 std::uint64_t seed)
+                                 qos::ResourceSchema schema, std::uint64_t seed,
+                                 cache::ComposeCache* compose_cache)
     : services_(services),
       composer_(*services.catalog, weights, schema),
       rng_(util::derive_seed(seed, "random-algorithm", 0)) {
   QSA_EXPECTS(services.catalog && services.placement && services.directory &&
               services.net);
+  composer_.set_cache(compose_cache);
 }
 
 AggregationPlan RandomAlgorithm::aggregate(const ServiceRequest& request,
@@ -108,23 +124,26 @@ AggregationPlan RandomAlgorithm::aggregate(const ServiceRequest& request,
 
   plan.hosts.reserve(plan.instances.size());
   for (registry::InstanceId id : plan.instances) {
-    auto providers = services_.placement->providers(id);
-    if (providers.empty()) {
+    const auto eligible = eligible_providers(*services_.placement, id,
+                                             request.excluded_hosts);
+    if (eligible.empty()) {
       plan.failure = FailureCause::kSelection;
       plan.hosts.clear();
       return plan;
     }
-    plan.hosts.push_back(providers[rng_.index(providers.size())]);
+    plan.hosts.push_back(eligible[rng_.index(eligible.size())]);
     ++plan.random_fallback_hops;
   }
   return plan;
 }
 
 FixedAlgorithm::FixedAlgorithm(GridServices services, qos::TupleWeights weights,
-                               qos::ResourceSchema schema)
+                               qos::ResourceSchema schema,
+                               cache::ComposeCache* compose_cache)
     : services_(services), composer_(*services.catalog, weights, schema) {
   QSA_EXPECTS(services.catalog && services.placement && services.directory &&
               services.net);
+  composer_.set_cache(compose_cache);
 }
 
 AggregationPlan FixedAlgorithm::aggregate(const ServiceRequest& request,
@@ -149,16 +168,19 @@ AggregationPlan FixedAlgorithm::aggregate(const ServiceRequest& request,
   plan.composition_cost = comp.cost;
 
   // Dedicated servers: the lowest-id provider of each instance, exactly as a
-  // client-server deployment pins services to fixed hosts.
+  // client-server deployment pins services to fixed hosts. When the dedicated
+  // host has been excluded (its reservation just failed), fail over to the
+  // next-lowest id, the way such deployments fail over to a standby replica.
   plan.hosts.reserve(plan.instances.size());
   for (registry::InstanceId id : plan.instances) {
-    auto providers = services_.placement->providers(id);
-    if (providers.empty()) {
+    const auto eligible = eligible_providers(*services_.placement, id,
+                                             request.excluded_hosts);
+    if (eligible.empty()) {
       plan.failure = FailureCause::kSelection;
       plan.hosts.clear();
       return plan;
     }
-    plan.hosts.push_back(*std::min_element(providers.begin(), providers.end()));
+    plan.hosts.push_back(*std::min_element(eligible.begin(), eligible.end()));
   }
   return plan;
 }

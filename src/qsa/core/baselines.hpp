@@ -29,7 +29,8 @@ namespace qsa::core {
 class RandomAlgorithm final : public AggregationAlgorithm {
  public:
   RandomAlgorithm(GridServices services, qos::TupleWeights weights,
-                  qos::ResourceSchema schema, std::uint64_t seed);
+                  qos::ResourceSchema schema, std::uint64_t seed,
+                  cache::ComposeCache* compose_cache = nullptr);
 
   [[nodiscard]] AggregationPlan aggregate(const ServiceRequest& request,
                                           sim::SimTime now) override;
@@ -44,7 +45,8 @@ class RandomAlgorithm final : public AggregationAlgorithm {
 class FixedAlgorithm final : public AggregationAlgorithm {
  public:
   FixedAlgorithm(GridServices services, qos::TupleWeights weights,
-                 qos::ResourceSchema schema);
+                 qos::ResourceSchema schema,
+                 cache::ComposeCache* compose_cache = nullptr);
 
   [[nodiscard]] AggregationPlan aggregate(const ServiceRequest& request,
                                           sim::SimTime now) override;

@@ -18,8 +18,29 @@ QcsComposer::QcsComposer(const registry::ServiceCatalog& catalog,
 
 double QcsComposer::instance_cost(registry::InstanceId instance) const {
   const auto& inst = catalog_.instance(instance);
+  if (cache_ != nullptr) {
+    return cache_->costs.cost(instance, inst.resources, inst.bandwidth_kbps,
+                              weights_, schema_);
+  }
   return qos::scalarize(qos::ResourceTuple{inst.resources, inst.bandwidth_kbps},
                         weights_, schema_);
+}
+
+bool QcsComposer::compatible(const registry::ServiceInstance& producer,
+                             const registry::ServiceInstance& consumer) const {
+  if (cache_ != nullptr) {
+    return cache_->compat.pair(producer.id, producer.qout, consumer.id,
+                               consumer.qin);
+  }
+  return qos::satisfies(producer.qout, consumer.qin);
+}
+
+bool QcsComposer::satisfies_requirement(const registry::ServiceInstance& inst,
+                                        const qos::QosVector& requirement) const {
+  if (cache_ != nullptr) {
+    return cache_->compat.sink(inst.id, inst.qout, requirement);
+  }
+  return qos::satisfies(inst.qout, requirement);
 }
 
 CompositionResult QcsComposer::compose(const CompositionRequest& req) const {
@@ -46,31 +67,51 @@ CompositionResult QcsComposer::compose(const CompositionRequest& req) const {
   parent[sink].assign(req.candidates[sink].size(), 0);
   for (std::size_t j = 0; j < req.candidates[sink].size(); ++j) {
     const auto& inst = catalog_.instance(req.candidates[sink][j]);
-    ++result.edges_examined;
-    if (qos::satisfies(inst.qout, req.requirement)) {
+    ++result.nodes_checked;
+    if (satisfies_requirement(inst, req.requirement)) {
       dist[sink][j] = instance_cost(inst.id);
     }
   }
 
+  // Per-layer scratch: the consumer layer compacted down to its reachable
+  // entries (finite dist), with instances resolved once. The inner loop
+  // then touches only live consumers, and the edge counter hoists out to
+  // one add per producer.
+  std::vector<const registry::ServiceInstance*> consumers;
+  std::vector<std::uint32_t> live;
+  std::vector<double> live_dist;
   for (std::size_t l = sink; l-- > 0;) {
     dist[l].assign(req.candidates[l].size(), kInf);
     parent[l].assign(req.candidates[l].size(), 0);
     const std::size_t consumer_layer = l + 1;
+    const std::vector<double>& cdist = dist[consumer_layer];
+    consumers.clear();
+    live.clear();
+    live_dist.clear();
+    for (std::size_t c = 0; c < req.candidates[consumer_layer].size(); ++c) {
+      if (cdist[c] == kInf) continue;
+      live.push_back(static_cast<std::uint32_t>(c));
+      live_dist.push_back(cdist[c]);
+      consumers.push_back(&catalog_.instance(req.candidates[consumer_layer][c]));
+    }
     for (std::size_t j = 0; j < req.candidates[l].size(); ++j) {
       const auto& producer = catalog_.instance(req.candidates[l][j]);
       const double own = instance_cost(producer.id);
-      for (std::size_t c = 0; c < req.candidates[consumer_layer].size(); ++c) {
-        if (dist[consumer_layer][c] == kInf) continue;
-        const auto& consumer =
-            catalog_.instance(req.candidates[consumer_layer][c]);
-        ++result.edges_examined;
-        if (!qos::satisfies(producer.qout, consumer.qin)) continue;
-        const double through = dist[consumer_layer][c] + own;
-        if (through < dist[l][j]) {
-          dist[l][j] = through;
-          parent[l][j] = static_cast<std::uint32_t>(c);
+      result.edges_examined += live.size();
+      double best = kInf;
+      std::uint32_t best_parent = 0;
+      // Ascending order keeps the lowest-index tie-break of the original
+      // relaxation, so plans are unchanged.
+      for (std::size_t k = 0; k < live.size(); ++k) {
+        if (!compatible(producer, *consumers[k])) continue;
+        const double through = live_dist[k] + own;
+        if (through < best) {
+          best = through;
+          best_parent = live[k];
         }
       }
+      dist[l][j] = best;
+      parent[l][j] = best_parent;
     }
   }
 

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "qsa/cache/compose_cache.hpp"
 #include "qsa/qos/tuple_compare.hpp"
 #include "qsa/qos/vector.hpp"
 #include "qsa/registry/catalog.hpp"
@@ -50,7 +51,11 @@ struct CompositionResult {
   double cost = 0;
   /// Work counters (for the complexity benches).
   std::size_t nodes = 0;
+  /// Producer/consumer pair examinations — the edges of the paper's layered
+  /// graph. Sink-layer checks against the user anchor are node checks, not
+  /// edges, and are counted separately below.
   std::size_t edges_examined = 0;
+  std::size_t nodes_checked = 0;
 };
 
 class QcsComposer {
@@ -62,6 +67,22 @@ class QcsComposer {
 
   /// The scalarized cost sigma(R, b) QCS charges for including `instance`.
   [[nodiscard]] double instance_cost(registry::InstanceId instance) const;
+
+  /// The eq. 1 edge check: does `producer`'s Qout satisfy `consumer`'s Qin?
+  /// Memoized per (producer, consumer) pair when a cache is attached.
+  [[nodiscard]] bool compatible(const registry::ServiceInstance& producer,
+                                const registry::ServiceInstance& consumer) const;
+
+  /// The sink-layer node check: does `inst`'s Qout satisfy the user's
+  /// requirement? Memoized per (instance, requirement) when cached.
+  [[nodiscard]] bool satisfies_requirement(
+      const registry::ServiceInstance& inst,
+      const qos::QosVector& requirement) const;
+
+  /// Attaches the compatibility/cost memo tables (null detaches). The cache
+  /// outlives the composer and must serve only this composer's (catalog,
+  /// weights, schema) triple; results are bit-identical either way.
+  void set_cache(cache::ComposeCache* cache) noexcept { cache_ = cache; }
 
   [[nodiscard]] const registry::ServiceCatalog& catalog() const noexcept {
     return catalog_;
@@ -77,6 +98,7 @@ class QcsComposer {
   const registry::ServiceCatalog& catalog_;
   qos::TupleWeights weights_;
   qos::ResourceSchema schema_;
+  cache::ComposeCache* cache_ = nullptr;
 };
 
 }  // namespace qsa::core

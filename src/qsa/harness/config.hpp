@@ -76,6 +76,18 @@ struct GridConfig {
   /// paper's experiments distribute importance weights uniformly).
   double bandwidth_weight = -1;
 
+  // --- caches (the aggregation fast path) ---
+  /// Attach the compatibility/cost memo tables (qsa/cache) to the algorithm
+  /// under test. Both memoize pure functions of immutable catalog state, so
+  /// results are bit-identical on or off — on by default.
+  bool compose_caches = true;
+  /// TTL of the requester-side discovery cache: a fresh entry serves the
+  /// last lookup's instance list with zero hops/latency. Zero (the default)
+  /// disables it and keeps discovery accounting byte-identical to a build
+  /// without the cache. Stale entries within the TTL are caught downstream
+  /// (selection/admission), matching the paper's soft-state model.
+  sim::SimTime discovery_cache_ttl = sim::SimTime::zero();
+
   // --- fault injection ---
   /// Message loss/delay/retry knobs (see qsa/fault/fault.hpp). Defaults are
   /// fully off; a disabled config keeps every layer on the perfect-messaging

@@ -48,6 +48,12 @@ GridSimulation::GridSimulation(GridConfig config)
   }
   directory_ = std::make_unique<registry::ServiceDirectory>(
       util::derive_seed(config_.seed, "directory", 0), *ring_, catalog_);
+  // Cache wiring precedes set_metrics: the directory gates its cache
+  // counters on whether the TTL cache is enabled.
+  directory_->set_cache_ttl(config_.discovery_cache_ttl);
+  if (config_.compose_caches) {
+    compose_cache_ = std::make_unique<cache::ComposeCache>();
+  }
   neighbors_ = std::make_unique<probe::NeighborResolution>(
       config_.probe_budget, config_.neighbor_ttl);
   manager_ = std::make_unique<session::SessionManager>(simulator_, *peers_,
@@ -75,6 +81,8 @@ GridSimulation::GridSimulation(GridConfig config)
     // Gated on the plan so that with faults off no fault.* metric name is
     // ever registered and exported output stays identical.
     if (fault_plan_ != nullptr) fault_plan_->set_metrics(metrics_.get());
+    // Same gating for cache.compat.*: only registered when the memo exists.
+    if (compose_cache_ != nullptr) compose_cache_->set_metrics(metrics_.get());
   }
 
   const core::GridServices services{&catalog_,   &placement_, directory_.get(),
@@ -93,16 +101,17 @@ GridSimulation::GridSimulation(GridConfig config)
     case AlgorithmKind::kQsa:
       algorithm_ = std::make_unique<core::QsaAlgorithm>(
           services, weights, peers_->schema(),
-          util::derive_seed(config_.seed, "algo", 0), config_.qsa_options);
+          util::derive_seed(config_.seed, "algo", 0), config_.qsa_options,
+          compose_cache_.get());
       break;
     case AlgorithmKind::kRandom:
       algorithm_ = std::make_unique<core::RandomAlgorithm>(
           services, weights, peers_->schema(),
-          util::derive_seed(config_.seed, "algo", 0));
+          util::derive_seed(config_.seed, "algo", 0), compose_cache_.get());
       break;
     case AlgorithmKind::kFixed:
-      algorithm_ = std::make_unique<core::FixedAlgorithm>(services, weights,
-                                                          peers_->schema());
+      algorithm_ = std::make_unique<core::FixedAlgorithm>(
+          services, weights, peers_->schema(), compose_cache_.get());
       break;
   }
 
@@ -356,6 +365,9 @@ void GridSimulation::depart_peer(net::PeerId peer) {
   ring_->fail(peer);
   neighbors_->drop_peer(peer);
   peers_->remove_peer(peer, simulator_.now());
+  // A departure changes what discovery should return (the departed peer's
+  // share of the key space is gone): drop any cached lookups.
+  directory_->invalidate_cache();
 }
 
 net::PeerId GridSimulation::arrive_peer() {

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "qsa/cache/compose_cache.hpp"
 #include "qsa/core/aggregate.hpp"
 #include "qsa/core/baselines.hpp"
 #include "qsa/fault/fault.hpp"
@@ -99,6 +100,14 @@ class GridSimulation {
   [[nodiscard]] core::AggregationAlgorithm& algorithm() noexcept {
     return *algorithm_;
   }
+  [[nodiscard]] registry::ServiceDirectory& directory() noexcept {
+    return *directory_;
+  }
+  /// The compatibility/cost memo tables; non-null iff
+  /// `config.compose_caches` is set.
+  [[nodiscard]] const cache::ComposeCache* compose_cache() const noexcept {
+    return compose_cache_.get();
+  }
   [[nodiscard]] session::SessionManager& sessions() noexcept {
     return *manager_;
   }
@@ -151,6 +160,7 @@ class GridSimulation {
   std::unique_ptr<overlay::LookupService> ring_;
   registry::PlacementMap placement_;
   std::unique_ptr<registry::ServiceDirectory> directory_;
+  std::unique_ptr<cache::ComposeCache> compose_cache_;
   std::unique_ptr<probe::NeighborResolution> neighbors_;
   std::unique_ptr<core::AggregationAlgorithm> algorithm_;
   std::unique_ptr<session::SessionManager> manager_;

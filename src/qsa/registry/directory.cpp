@@ -15,14 +15,20 @@ overlay::Key ServiceDirectory::key_of(ServiceId service) const {
 
 void ServiceDirectory::publish(InstanceId instance) {
   ring_.insert(key_of(catalog_.instance(instance).service), instance);
+  cache_.invalidate();
 }
 
 void ServiceDirectory::publish_all() {
-  for (InstanceId i = 0; i < catalog_.instance_count(); ++i) publish(i);
+  for (InstanceId i = 0; i < catalog_.instance_count(); ++i) {
+    ring_.insert(key_of(catalog_.instance(i).service), i);
+  }
+  // One invalidation for the whole republish, not one per instance.
+  cache_.invalidate();
 }
 
 void ServiceDirectory::unpublish(InstanceId instance) {
   ring_.erase(key_of(catalog_.instance(instance).service), instance);
+  cache_.invalidate();
 }
 
 void ServiceDirectory::set_metrics(obs::MetricsRegistry* metrics) {
@@ -30,16 +36,27 @@ void ServiceDirectory::set_metrics(obs::MetricsRegistry* metrics) {
     lookups_ = nullptr;
     lookup_hops_ = nullptr;
     lookup_latency_ = nullptr;
+    cache_.set_metrics(nullptr);
     return;
   }
   lookups_ = &metrics->counter("directory.lookups");
   lookup_hops_ = &metrics->histogram("directory.lookup_hops");
   lookup_latency_ = &metrics->histogram("directory.lookup_latency_ms");
+  // Gate the cache counters on the feature so knobs-off exports stay
+  // byte-identical to builds without the cache layer.
+  cache_.set_metrics(cache_.enabled() ? metrics : nullptr);
 }
 
 Discovery ServiceDirectory::discover(ServiceId service, net::PeerId from,
-                                     const net::NetworkModel* net) const {
+                                     const net::NetworkModel* net,
+                                     sim::SimTime now) const {
   Discovery d;
+  if (const auto* cached = cache_.find(service, now)) {
+    // Served from the requester's soft-state cache: no routing, no hops, no
+    // latency, and no lookup recorded — the overlay was never consulted.
+    d.instances = *cached;
+    return d;
+  }
   const overlay::ChordKey key = key_of(service);
   const overlay::LookupStats stats = ring_.route(key, from, net);
   d.hops = stats.hops;
@@ -50,6 +67,9 @@ Discovery ServiceDirectory::discover(ServiceId service, net::PeerId from,
     for (std::uint64_t v : ring_.get(key)) {
       d.instances.push_back(static_cast<InstanceId>(v));
     }
+    // Only completed lookups are worth remembering; a lost lookup's empty
+    // answer is not the directory's state.
+    cache_.store(service, d.instances, now);
   }
   if (lookups_ != nullptr) {
     lookups_->add();

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "qsa/cache/discovery_cache.hpp"
 #include "qsa/obs/registry.hpp"
 #include "qsa/overlay/lookup.hpp"
 #include "qsa/registry/catalog.hpp"
@@ -42,13 +43,27 @@ class ServiceDirectory {
   void unpublish(InstanceId instance);
 
   /// Chord lookup of the candidate instances for `service`, routed from
-  /// `from`. `net` (optional) prices per-hop latency.
+  /// `from`. `net` (optional) prices per-hop latency. `now` feeds the TTL'd
+  /// discovery cache: a fresh cached entry is served without routing (zero
+  /// hops, zero latency); with the cache disabled (the default) `now` is
+  /// unused and every call routes.
   [[nodiscard]] Discovery discover(ServiceId service, net::PeerId from,
-                                   const net::NetworkModel* net = nullptr) const;
+                                   const net::NetworkModel* net = nullptr,
+                                   sim::SimTime now = sim::SimTime::zero()) const;
+
+  /// Enables the TTL'd discovery cache (zero, the default, disables it —
+  /// accounting is then byte-identical to a cacheless directory).
+  void set_cache_ttl(sim::SimTime ttl) { cache_.set_ttl(ttl); }
+
+  /// Drops every cached discovery. The directory calls this itself on
+  /// publish/unpublish; the harness calls it on peer departure (the one
+  /// registration change the directory does not hear about directly).
+  void invalidate_cache() const { cache_.invalidate(); }
 
   /// Attaches observability (optional; null detaches). Records per-lookup
   /// `directory.lookup_hops` and `directory.lookup_latency_ms` histograms
-  /// plus a `directory.lookups` counter.
+  /// plus a `directory.lookups` counter; when the discovery cache is
+  /// enabled, also its `cache.discovery.*` counters.
   void set_metrics(obs::MetricsRegistry* metrics);
 
  private:
@@ -57,6 +72,10 @@ class ServiceDirectory {
   std::uint64_t seed_;
   overlay::LookupService& ring_;
   const ServiceCatalog& catalog_;
+  // Logically the requesters' soft-state lookup cache, not directory state:
+  // reads mutate only it (mutable), and const users (the algorithms hold a
+  // const directory) still benefit.
+  mutable cache::DiscoveryCache cache_;
 
   obs::Counter* lookups_ = nullptr;
   obs::Histogram* lookup_hops_ = nullptr;

@@ -141,8 +141,13 @@ TEST(QsaAlgorithm, ComposesCheaperPathsThanRandom) {
   EXPECT_LT(qsa_cost, rnd_cost);
 }
 
-TEST(QsaAlgorithm, HonorsExcludedHosts) {
-  GridSimulation grid(algo_config(AlgorithmKind::kQsa));
+// Admission-retry support: every algorithm must honor the request's
+// excluded-hosts list (the blamed peers of failed reservations) — QSA's
+// selection, random's uniform pick, and fixed's dedicated host alike.
+class ExclusionHonored : public ::testing::TestWithParam<AlgorithmKind> {};
+
+TEST_P(ExclusionHonored, ReplansAvoidExcludedHosts) {
+  GridSimulation grid(algo_config(GetParam()));
   const auto& app = grid.apps().apps()[0];
   core::ServiceRequest req;
   req.requester = grid.peers().alive_ids()[0];
@@ -153,7 +158,8 @@ TEST(QsaAlgorithm, HonorsExcludedHosts) {
   const auto first = grid.submit_request(req);
   ASSERT_TRUE(first.ok());
   // Exclude every host the first plan chose; the second plan must avoid
-  // them all.
+  // them all (this is exactly what an admission retry does with the blamed
+  // hosts).
   req.excluded_hosts = first.hosts;
   const auto second = grid.submit_request(req);
   ASSERT_TRUE(second.ok());
@@ -163,8 +169,8 @@ TEST(QsaAlgorithm, HonorsExcludedHosts) {
   }
 }
 
-TEST(QsaAlgorithm, SelectionFailsWhenEverythingExcluded) {
-  GridSimulation grid(algo_config(AlgorithmKind::kQsa));
+TEST_P(ExclusionHonored, SelectionFailsWhenEverythingExcluded) {
+  GridSimulation grid(algo_config(GetParam()));
   const auto& app = grid.apps().apps()[0];
   core::ServiceRequest req;
   req.requester = grid.peers().alive_ids()[0];
@@ -181,6 +187,42 @@ TEST(QsaAlgorithm, SelectionFailsWhenEverythingExcluded) {
   const auto plan = grid.submit_request(req);
   EXPECT_FALSE(plan.ok());
   EXPECT_EQ(plan.failure, core::FailureCause::kSelection);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ExclusionHonored,
+                         ::testing::Values(AlgorithmKind::kQsa,
+                                           AlgorithmKind::kRandom,
+                                           AlgorithmKind::kFixed),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(FixedAlgorithm, ExcludedDedicatedHostFailsOverToNextLowestId) {
+  GridSimulation grid(algo_config(AlgorithmKind::kFixed));
+  const auto& app = grid.apps().apps()[0];
+  core::ServiceRequest req;
+  req.requester = grid.peers().alive_ids()[0];
+  req.abstract_path = app.path;
+  req.requirement =
+      workload::requirement_for(workload::QosLevel::kLow, grid.universe());
+  req.session_duration = sim::SimTime::minutes(5);
+  const auto first = grid.submit_request(req);
+  ASSERT_TRUE(first.ok());
+  req.excluded_hosts = {first.hosts[0]};
+  const auto second = grid.submit_request(req);
+  ASSERT_TRUE(second.ok());
+  // Same dedicated path, but hop 0 fails over to the next-lowest id among
+  // the surviving providers.
+  EXPECT_EQ(second.instances, first.instances);
+  EXPECT_NE(second.hosts[0], first.hosts[0]);
+  const auto providers = grid.placement().providers(first.instances[0]);
+  net::PeerId expect = net::kNoPeer;
+  for (const auto p : providers) {
+    if (p != first.hosts[0] && (expect == net::kNoPeer || p < expect)) {
+      expect = p;
+    }
+  }
+  EXPECT_EQ(second.hosts[0], expect);
 }
 
 TEST(QsaAlgorithm, SelectionFailsGracefullyWithNoProviders) {

@@ -218,6 +218,24 @@ TEST(GridSimulation, BandwidthWeightConfigApplies) {
   EXPECT_EQ(a.requests, c.requests);  // same arrival stream
 }
 
+// Admission retries exclude the blamed host on the re-plan. That is only
+// useful if the algorithm honors the exclusion — the fixed baseline would
+// otherwise re-pick the very host whose reservation just failed and burn
+// every retry on a guaranteed repeat failure.
+TEST(GridSimulation, RetryExclusionHelpsFixedBaseline) {
+  auto cfg = small_config();
+  cfg.algorithm = AlgorithmKind::kFixed;
+  cfg.requests.rate_per_min = 150;  // saturate the dedicated hosts
+  auto with = cfg;
+  with.admission_retries = 2;
+  GridSimulation g_plain(cfg), g_retry(with);
+  const auto r_plain = g_plain.run();
+  const auto r_retry = g_retry.run();
+  EXPECT_GT(r_retry.counters.get("admission.retries"), 0u);
+  EXPECT_GT(r_retry.success_ratio(), r_plain.success_ratio());
+  EXPECT_LT(r_retry.failures_admission, r_plain.failures_admission);
+}
+
 TEST(GridSimulation, CountersExported) {
   GridSimulation grid(small_config());
   const auto r = grid.run();

@@ -249,6 +249,34 @@ TEST_F(SelectFixture, AblationDisablesUptimeFilter) {
   EXPECT_EQ(sel.peer, young_big);  // uptime ignored, Phi wins
 }
 
+TEST_F(SelectFixture, ReservoirAblationPickIsDeterministic) {
+  // With Phi ranking ablated (use_phi_ranking=false) the selector
+  // reservoir-samples a uniform survivor: the first qualified candidate is
+  // taken without an RNG draw, and the k-th (k >= 2) replaces it when
+  // rng.index(k) == 0. Pin the pick against a twin RNG replaying exactly
+  // that draw pattern, so any change to the sampling scheme (or an extra
+  // draw sneaking into the hot path) trips this test.
+  PeerSelector sampler(qos::TupleWeights({0.5, 0.5}, 0.0),
+                       qos::ResourceSchema::paper(),
+                       SelectorOptions{.use_phi_ranking = false});
+  const auto inst = make_instance(50, 50, 50);
+  std::vector<PeerId> candidates;
+  for (int i = 0; i < 8; ++i) candidates.push_back(add_candidate(900, 100));
+
+  util::Rng twin(7);  // the fixture's rng seed, untouched so far
+  PeerId expected = candidates[0];
+  for (std::size_t k = 2; k <= candidates.size(); ++k) {
+    if (twin.index(k) == 0) expected = candidates[k - 1];
+  }
+
+  const auto sel = sampler.select_hop(peers, net, table, me, inst, candidates,
+                                      SimTime::minutes(10), SimTime::zero(),
+                                      rng);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_FALSE(sel.random_fallback);
+  EXPECT_EQ(sel.peer, expected);
+}
+
 TEST_F(SelectFixture, DeterministicTieBreakByPeerId) {
   const auto inst = make_instance(50, 50, 50);
   // Identical capacity and age; Phi differs only via pair bandwidth, so pick

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Gate on the compose-cache speedup measured by bench/micro_algorithms.
+
+Reads a google-benchmark JSON report containing BM_QcsCompose and
+BM_QcsComposeCached rows, pairs them by benchmark arguments, and fails if
+the mean cached-vs-uncached speedup falls below the threshold (or if any
+pair regresses below 1.0x, i.e. the cache made compose slower).
+
+Usage:
+    micro_algorithms --benchmark_filter='BM_QcsCompose' \
+        --benchmark_format=json > bench.json
+    python3 tools/check_compose_speedup.py bench.json [--min-speedup=1.5]
+
+The threshold is deliberately below the ~2x seen on quiet machines: CI
+runners are noisy and the gate exists to catch the cache being wired out
+or pessimized, not to certify peak numbers.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_pairs(report):
+    plain, cached = {}, {}
+    for row in report.get("benchmarks", []):
+        name = row.get("name", "")
+        if row.get("run_type") == "aggregate":
+            continue
+        args = "/".join(name.split("/")[1:])
+        if name.startswith("BM_QcsComposeCached/"):
+            cached[args] = row["real_time"]
+        elif name.startswith("BM_QcsCompose/"):
+            plain[args] = row["real_time"]
+    return [(a, plain[a], cached[a]) for a in plain if a in cached]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="google-benchmark JSON report")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="minimum mean plain/cached ratio (default 1.5)")
+    opts = parser.parse_args()
+
+    with open(opts.report, encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    pairs = load_pairs(report)
+    if not pairs:
+        print("error: no BM_QcsCompose/BM_QcsComposeCached pairs in report",
+              file=sys.stderr)
+        return 2
+
+    print(f"{'args':>10} {'plain ns':>12} {'cached ns':>12} {'speedup':>9}")
+    speedups = []
+    slower = []
+    for args, plain_ns, cached_ns in sorted(pairs):
+        ratio = plain_ns / cached_ns
+        speedups.append(ratio)
+        if ratio < 1.0:
+            slower.append(args)
+        print(f"{args:>10} {plain_ns:>12.0f} {cached_ns:>12.0f} {ratio:>8.2f}x")
+
+    mean = sum(speedups) / len(speedups)
+    print(f"mean speedup over {len(speedups)} sizes: {mean:.2f}x "
+          f"(threshold {opts.min_speedup:.2f}x)")
+
+    if slower:
+        print(f"FAIL: cache slower than uncached at {', '.join(slower)}",
+              file=sys.stderr)
+        return 1
+    if mean < opts.min_speedup:
+        print(f"FAIL: mean speedup {mean:.2f}x < {opts.min_speedup:.2f}x",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
