@@ -12,8 +12,8 @@
 
 int main(int argc, char** argv) {
   using namespace qsa;
-  const auto opt = bench::parse_options(argc, argv);
   util::Flags flags(argc, argv);
+  const auto opt = bench::parse_options(flags);
 
   auto base = bench::paper_config(opt);
   base.horizon = sim::SimTime::minutes(flags.get_double("minutes", 60));
@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
 
   const std::vector<double> losses =
       util::parse_double_list(flags.get("loss", "0,0.01,0.05,0.1,0.2,0.4"));
+  util::reject_unknown_flags(flags, "ablation_loss");
   const harness::AlgorithmKind algos[] = {harness::AlgorithmKind::kQsa,
                                           harness::AlgorithmKind::kRandom,
                                           harness::AlgorithmKind::kFixed};

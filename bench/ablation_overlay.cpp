@@ -9,13 +9,14 @@
 
 int main(int argc, char** argv) {
   using namespace qsa;
-  const auto opt = bench::parse_options(argc, argv);
   util::Flags flags(argc, argv);
+  const auto opt = bench::parse_options(flags);
 
   auto base = bench::paper_config(opt);
   base.horizon = sim::SimTime::minutes(flags.get_double("minutes", 60));
   base.requests.rate_per_min = flags.get_double("rate", 200) * opt.scale;
   base.churn.events_per_min = flags.get_double("churn", 0) * opt.scale;
+  util::reject_unknown_flags(flags, "ablation_overlay");
   base.algorithm = harness::AlgorithmKind::kQsa;
 
   bench::print_header("Substrate: Chord vs CAN lookup",

@@ -8,8 +8,8 @@
 
 int main(int argc, char** argv) {
   using namespace qsa;
-  const auto opt = bench::parse_options(argc, argv);
   util::Flags flags(argc, argv);
+  const auto opt = bench::parse_options(flags);
 
   auto base = bench::paper_config(opt);
   base.horizon = sim::SimTime::minutes(flags.get_double("minutes", 60));
@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   const std::vector<double> budgets =
       util::parse_double_list(flags.get("budgets", "5,10,25,50,100,200"));
+  util::reject_unknown_flags(flags, "ablation_probe_budget");
 
   bench::print_header("Ablation: probe budget M",
                       "paper fixes M = 100 (1% probing overhead)", opt, base);

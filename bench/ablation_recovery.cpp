@@ -10,8 +10,8 @@
 
 int main(int argc, char** argv) {
   using namespace qsa;
-  const auto opt = bench::parse_options(argc, argv);
   util::Flags flags(argc, argv);
+  const auto opt = bench::parse_options(flags);
 
   auto base = bench::paper_config(opt);
   base.horizon = sim::SimTime::minutes(flags.get_double("minutes", 60));
@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
 
   const std::vector<double> churn_rates =
       util::parse_double_list(flags.get("churn", "50,100,200"));
+  util::reject_unknown_flags(flags, "ablation_recovery");
 
   bench::print_header("Extension: mid-session departure recovery",
                       "the paper's future-work item, quantified under churn",

@@ -9,8 +9,8 @@
 
 int main(int argc, char** argv) {
   using namespace qsa;
-  const auto opt = bench::parse_options(argc, argv);
   util::Flags flags(argc, argv);
+  const auto opt = bench::parse_options(flags);
 
   auto base = bench::paper_config(opt);
   base.horizon = sim::SimTime::minutes(flags.get_double("minutes", 60));
@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
 
   const std::vector<double> retries =
       util::parse_double_list(flags.get("retries", "0,1,2,4"));
+  util::reject_unknown_flags(flags, "ablation_retry");
 
   bench::print_header(
       "Extension: admission retries (second-chance selection)",

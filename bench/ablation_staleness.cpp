@@ -11,8 +11,8 @@
 
 int main(int argc, char** argv) {
   using namespace qsa;
-  const auto opt = bench::parse_options(argc, argv);
   util::Flags flags(argc, argv);
+  const auto opt = bench::parse_options(flags);
 
   auto base = bench::paper_config(opt);
   base.horizon = sim::SimTime::minutes(flags.get_double("minutes", 60));
@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
 
   const std::vector<double> periods_s =
       util::parse_double_list(flags.get("periods", "5,30,120,600"));
+  util::reject_unknown_flags(flags, "ablation_staleness");
 
   bench::print_header(
       "Ablation: probe period (performance-information staleness)",

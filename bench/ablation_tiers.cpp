@@ -9,12 +9,13 @@
 
 int main(int argc, char** argv) {
   using namespace qsa;
-  const auto opt = bench::parse_options(argc, argv);
   util::Flags flags(argc, argv);
+  const auto opt = bench::parse_options(flags);
 
   auto base = bench::paper_config(opt);
   base.horizon = sim::SimTime::minutes(flags.get_double("minutes", 100));
   base.requests.rate_per_min = flags.get_double("rate", 400) * opt.scale;
+  util::reject_unknown_flags(flags, "ablation_tiers");
   base.churn.events_per_min = 0;
 
   bench::print_header(

@@ -7,8 +7,8 @@
 
 int main(int argc, char** argv) {
   using namespace qsa;
-  const auto opt = bench::parse_options(argc, argv);
   util::Flags flags(argc, argv);
+  const auto opt = bench::parse_options(flags);
 
   auto base = bench::paper_config(opt);
   base.horizon = sim::SimTime::minutes(flags.get_double("minutes", 60));
@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   const std::vector<double> churn_rates =
       util::parse_double_list(flags.get("churn", "0,50,100,200"));
+  util::reject_unknown_flags(flags, "ablation_uptime");
 
   bench::print_header("Ablation: uptime filter under churn",
                       "QSA with vs without the uptime>=duration match", opt,

@@ -9,8 +9,8 @@
 
 int main(int argc, char** argv) {
   using namespace qsa;
-  const auto opt = bench::parse_options(argc, argv);
   util::Flags flags(argc, argv);
+  const auto opt = bench::parse_options(flags);
 
   auto base = bench::paper_config(opt);
   base.horizon = sim::SimTime::minutes(flags.get_double("minutes", 60));
@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
 
   const std::vector<double> bw_weights =
       util::parse_double_list(flags.get("weights", "0,0.1,0.333,0.6,0.9"));
+  util::reject_unknown_flags(flags, "ablation_weights");
 
   bench::print_header(
       "Ablation: importance weight on bandwidth (omega_{m+1})",

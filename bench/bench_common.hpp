@@ -34,8 +34,11 @@ struct BenchOptions {
   std::string metrics_out;  ///< --metrics-out=FILE; empty = no sidecar
 };
 
-inline BenchOptions parse_options(int argc, char** argv) {
-  util::Flags flags(argc, argv);
+/// Reads the shared options off the caller's Flags instance. Benches pass
+/// their one Flags object here and to their own get*() calls, so the
+/// unknown-flag check (util::reject_unknown_flags, called after the last
+/// lookup) sees the full vocabulary.
+inline BenchOptions parse_options(util::Flags& flags) {
   BenchOptions opt;
   opt.scale = flags.get_double("scale", harness::GridConfig::env_scale(0.1));
   opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));

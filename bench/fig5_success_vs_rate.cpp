@@ -10,8 +10,8 @@
 
 int main(int argc, char** argv) {
   using namespace qsa;
-  const auto opt = bench::parse_options(argc, argv);
   util::Flags flags(argc, argv);
+  const auto opt = bench::parse_options(flags);
 
   auto base = bench::paper_config(opt);
   base.horizon = sim::SimTime::minutes(flags.get_double("minutes", 400));
@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   // The paper sweeps 0..1000 req/min (pre-scaling).
   std::vector<double> rates = util::parse_double_list(
       flags.get("rates", "50,100,200,400,600,800,1000"));
+  util::reject_unknown_flags(flags, "fig5_success_vs_rate");
 
   bench::print_header(
       "Figure 5: average success ratio vs request rate",

@@ -4,14 +4,15 @@
 
 int main(int argc, char** argv) {
   using namespace qsa;
-  const auto opt = bench::parse_options(argc, argv);
   util::Flags flags(argc, argv);
+  const auto opt = bench::parse_options(flags);
 
   auto cfg = bench::paper_config(opt);
   cfg.horizon = sim::SimTime::minutes(flags.get_double("minutes", 100));
   cfg.sample_period = sim::SimTime::minutes(2);
   cfg.churn.events_per_min = 0;
   cfg.requests.rate_per_min = flags.get_double("rate", 200) * opt.scale;
+  util::reject_unknown_flags(flags, "fig6_success_timeseries");
 
   bench::print_header(
       "Figure 6: success ratio fluctuation (no churn)",

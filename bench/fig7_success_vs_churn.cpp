@@ -6,8 +6,8 @@
 
 int main(int argc, char** argv) {
   using namespace qsa;
-  const auto opt = bench::parse_options(argc, argv);
   util::Flags flags(argc, argv);
+  const auto opt = bench::parse_options(flags);
 
   auto base = bench::paper_config(opt);
   base.horizon = sim::SimTime::minutes(flags.get_double("minutes", 60));
@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   // The paper sweeps 0..200 peers/min (pre-scaling; <= 2% of the population).
   std::vector<double> churn_rates =
       util::parse_double_list(flags.get("churn", "0,25,50,100,150,200"));
+  util::reject_unknown_flags(flags, "fig7_success_vs_churn");
 
   bench::print_header(
       "Figure 7: average success ratio vs topological variation rate",

@@ -4,14 +4,15 @@
 
 int main(int argc, char** argv) {
   using namespace qsa;
-  const auto opt = bench::parse_options(argc, argv);
   util::Flags flags(argc, argv);
+  const auto opt = bench::parse_options(flags);
 
   auto cfg = bench::paper_config(opt);
   cfg.horizon = sim::SimTime::minutes(flags.get_double("minutes", 60));
   cfg.sample_period = sim::SimTime::minutes(2);
   cfg.requests.rate_per_min = flags.get_double("rate", 100) * opt.scale;
   cfg.churn.events_per_min = flags.get_double("churn", 100) * opt.scale;
+  util::reject_unknown_flags(flags, "fig8_churn_timeseries");
 
   bench::print_header(
       "Figure 8: success ratio fluctuation under churn",

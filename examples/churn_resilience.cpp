@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const double minutes = flags.get_double("minutes", 40);
   const double churn = flags.get_double("churn", 12);
+  util::reject_unknown_flags(flags, "churn_resilience");
 
   harness::GridConfig base;
   base.seed = 31;

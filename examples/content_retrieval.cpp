@@ -72,6 +72,7 @@ void report(const char* name, const Outcome& o) {
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const int requests = static_cast<int>(flags.get_int("requests", 300));
+  util::reject_unknown_flags(flags, "content_retrieval");
 
   harness::GridConfig config;
   config.seed = 21;

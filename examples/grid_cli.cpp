@@ -40,6 +40,14 @@ void print_usage() {
       "                     (default 0 = perfect messaging)\n"
       "  --fault-delay-ms=D max extra delay on delivered messages (default 0)\n"
       "  --fault-retries=K  resends per lost message (default 2)\n"
+      "  --replication      enable demand-driven service replication\n"
+      "                     (off by default; off = byte-identical output)\n"
+      "  --replica-threshold=T  demand score that trips a clone (default 4)\n"
+      "  --replica-cooldown=S   refractory/retirement period in seconds\n"
+      "                     (default 120)\n"
+      "  --max-replicas=K   clone cap per service instance (default 8)\n"
+      "  --track-load       provider-load concentration accounting without\n"
+      "                     replication (implied by --replication)\n"
       "  --seed=S           root seed (default 42)\n"
       "  --csv              also emit the psi time series as CSV\n"
       "  --trace-out=FILE   write the per-request trace as JSON lines\n"
@@ -74,6 +82,14 @@ int main(int argc, char** argv) {
   cfg.faults.max_extra_delay = sim::SimTime::millis(
       static_cast<std::int64_t>(flags.get_int("fault-delay-ms", 0)));
   cfg.faults.max_retries = static_cast<int>(flags.get_int("fault-retries", 2));
+  cfg.replication.enabled = flags.get_bool("replication", false);
+  cfg.replication.threshold = flags.get_double(
+      "replica-threshold", cfg.replication.threshold);
+  cfg.replication.cooldown = sim::SimTime::seconds(flags.get_double(
+      "replica-cooldown", cfg.replication.cooldown.as_seconds()));
+  cfg.replication.max_replicas = static_cast<int>(
+      flags.get_int("max-replicas", cfg.replication.max_replicas));
+  cfg.track_load = flags.get_bool("track-load", false);
   const std::string trace_out = flags.get("trace-out", "");
   const std::string metrics_out = flags.get("metrics-out", "");
   cfg.observe = !trace_out.empty() || !metrics_out.empty();
@@ -99,6 +115,16 @@ int main(int argc, char** argv) {
   } else {
     std::printf("unknown --overlay '%s'\n", overlay.c_str());
     return 1;
+  }
+  const bool emit_csv = flags.get_bool("csv", false);
+
+  // Every recognized flag has been consulted by now; anything left in argv
+  // is a typo that would otherwise silently run the wrong experiment.
+  if (const auto bad = flags.unknown(); !bad.empty()) {
+    for (const auto& f : bad) std::printf("unknown flag --%s\n", f.c_str());
+    std::printf("\n");
+    print_usage();
+    return 2;
   }
 
   std::printf("qsa grid: %zu peers, %s algorithm on %s overlay, "
@@ -163,7 +189,7 @@ int main(int argc, char** argv) {
     std::printf("metrics -> %s\n", metrics_out.c_str());
   }
 
-  if (flags.get_bool("csv", false)) {
+  if (emit_csv) {
     metrics::Table series({"minute", "psi"});
     for (const auto& s : r.series.samples()) {
       series.add_row({metrics::Table::num(s.time.as_minutes(), 0),

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   harness::GridConfig config;
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   config.peers = static_cast<std::size_t>(flags.get_int("peers", 500));
+  util::reject_unknown_flags(flags, "quickstart");
   config.min_providers = 20;
   config.max_providers = 40;
   harness::GridSimulation grid(config);

@@ -73,6 +73,9 @@ class AggregationAlgorithm {
   [[nodiscard]] virtual AggregationPlan aggregate(const ServiceRequest& request,
                                                   sim::SimTime now) = 0;
   [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Live load balancing (replication tier): algorithms that rank hosts may
+  /// discount loaded candidates. No-op for algorithms without a ranking.
+  virtual void set_load_signal(PeerSelector::LoadSignal) {}
 };
 
 /// Everything an aggregation algorithm needs to consult. Non-owning; the
@@ -107,6 +110,10 @@ class QsaAlgorithm final : public AggregationAlgorithm {
 
   [[nodiscard]] const QcsComposer& composer() const noexcept {
     return composer_;
+  }
+
+  void set_load_signal(PeerSelector::LoadSignal load) override {
+    selector_.set_load_signal(std::move(load));
   }
 
  private:

@@ -41,7 +41,15 @@ HopSelection PeerSelector::select_hop(
 
   for (net::PeerId c : candidates) {
     if (table.knows(c, now)) {
-      known.push_back(Known{c, probe::probe(peers, net, current, c, now)});
+      Known k{c, probe::probe(peers, net, current, c, now)};
+      if (load_) {
+        // Same-epoch reservation correction (replication tier): discount
+        // what was committed on the candidate since the probe snapshot, so
+        // the filter and ranking see near-live headroom.
+        k.snap.available -= load_(c);
+        k.snap.available.clamp_negative_zero();
+      }
+      known.push_back(std::move(k));
     } else {
       unknown.push_back(c);
     }

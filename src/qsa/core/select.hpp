@@ -16,6 +16,7 @@
 //      no unknowns left the hop fails.
 #pragma once
 
+#include <functional>
 #include <span>
 
 #include "qsa/net/network.hpp"
@@ -51,6 +52,21 @@ class PeerSelector {
   [[nodiscard]] double phi(const probe::PerfSnapshot& snap,
                            const registry::ServiceInstance& instance) const;
 
+  /// Same-epoch reservation correction for a candidate, supplied by the
+  /// session layer: the host resources reserved since the current
+  /// probe-epoch boundary, which probed snapshots cannot see yet.
+  using LoadSignal = std::function<qos::ResourceVector(net::PeerId)>;
+
+  /// Attaches (or, with an empty function, detaches) the live load signal:
+  /// each candidate's probed availability is reduced by its same-epoch
+  /// reservations before the capability filter and the Phi ranking run.
+  /// Without it every session admitted inside one probe epoch is ranked
+  /// against the same stale snapshot, so they pile onto the epoch's single
+  /// Phi maximizer and overcommit it. Off by default — plain QSA selects
+  /// on probed state alone; the replication tier turns it on (the
+  /// load-balancing half of the subsystem).
+  void set_load_signal(LoadSignal load) { load_ = std::move(load); }
+
   /// One selection step: `current` picks the host for `instance` among
   /// `candidates`. `table` is `current`'s neighbor table (already prepared
   /// by the resolution protocol).
@@ -69,6 +85,7 @@ class PeerSelector {
   qos::TupleWeights weights_;
   qos::ResourceSchema schema_;
   SelectorOptions options_;
+  LoadSignal load_;
 };
 
 }  // namespace qsa::core

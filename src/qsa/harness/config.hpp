@@ -8,6 +8,7 @@
 
 #include "qsa/core/aggregate.hpp"
 #include "qsa/fault/fault.hpp"
+#include "qsa/replica/config.hpp"
 #include "qsa/sim/time.hpp"
 #include "qsa/workload/apps.hpp"
 #include "qsa/workload/churn.hpp"
@@ -87,6 +88,19 @@ struct GridConfig {
   /// without the cache. Stale entries within the TTL are caught downstream
   /// (selection/admission), matching the paper's soft-state model.
   sim::SimTime discovery_cache_ttl = sim::SimTime::zero();
+
+  // --- replication (the third tier; DESIGN.md §10) ---
+  /// Demand-driven replica management (see qsa/replica/config.hpp).
+  /// Disabled by default: no manager is constructed, no events scheduled,
+  /// and output stays byte-identical to a build without the subsystem.
+  replica::ReplicaConfig replication;
+  /// Provider-load concentration accounting in the session manager (peak
+  /// concurrent sessions per host, provider.load* metrics). Implied by
+  /// `replication.enabled`; settable on its own to measure the DESIGN §4
+  /// hotspot without treating it. Off by default — tracked runs add
+  /// load.provider_peak to the result counters and, when observing,
+  /// provider.load* metric names.
+  bool track_load = false;
 
   // --- fault injection ---
   /// Message loss/delay/retry knobs (see qsa/fault/fault.hpp). Defaults are

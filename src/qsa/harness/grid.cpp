@@ -115,6 +115,43 @@ GridSimulation::GridSimulation(GridConfig config)
       break;
   }
 
+  // The replication tier listens to the session manager's demand signals
+  // and widens hot provider pools through placement + directory publish.
+  // Constructed only when enabled: a disabled config schedules nothing and
+  // registers no metric names, keeping output byte-identical.
+  if (config_.replication.enabled) {
+    replica_ = std::make_unique<replica::ReplicaManager>(
+        util::derive_seed(config_.seed, "replica", 0), config_.replication,
+        catalog_, placement_, *directory_, *peers_, *network_, weights,
+        peers_->schema());
+    if (metrics_ != nullptr) replica_->set_metrics(metrics_.get());
+    manager_->set_demand_callback([this](const session::DemandSignal& sig) {
+      const sim::SimTime now = simulator_.now();
+      switch (sig.kind) {
+        case session::DemandSignal::Kind::kAdmitted:
+          replica_->on_admitted(sig.instances, now);
+          break;
+        case session::DemandSignal::Kind::kRejected:
+          replica_->on_rejected(sig.instances, sig.hosts, sig.blamed, now);
+          break;
+        case session::DemandSignal::Kind::kTeardown:
+          replica_->on_session_ended(sig.instances);
+          break;
+      }
+    });
+    // The load-balancing half of the tier: selection subtracts each
+    // candidate's same-epoch reservations from its probed availability, so
+    // sessions admitted within one probe epoch see near-live headroom and
+    // spread across the widened pool instead of piling onto the stale
+    // snapshot's single Phi maximizer (and then failing at reservation).
+    algorithm_->set_load_signal(
+        [this](net::PeerId p) { return manager_->epoch_reservations(p); });
+  }
+  // Concentration accounting rides along with replication (its evaluation
+  // metric) and can be requested on its own.
+  manager_->set_load_tracking(config_.track_load ||
+                              config_.replication.enabled);
+
   if (config_.enable_recovery) {
     recovery_selector_ = std::make_unique<core::PeerSelector>(
         weights, peers_->schema(), config_.qsa_options.selector);
@@ -270,14 +307,27 @@ void GridSimulation::handle_request(const core::ServiceRequest& request) {
         path_length_hist_->observe(static_cast<double>(plan.instances.size()));
       }
     }
+    // Counted once per request, as soon as composition succeeded (whatever
+    // selection and admission do afterwards): admission retries recompose
+    // the identical (host-independent) plan, and conditioning on the later
+    // stages would measure the retry/selection mix rather than the
+    // composition objective.
+    if (tries == 0 && cause != core::FailureCause::kDiscovery &&
+        cause != core::FailureCause::kComposition) {
+      composition_cost_sum_ += plan.composition_cost;
+      ++composed_;
+    }
     if (!plan.ok()) {
+      // A selection failure means no provider of some hop had probed
+      // headroom — the strongest replication signal there is.
+      if (replica_ != nullptr && cause == core::FailureCause::kSelection) {
+        replica_->on_selection_failure(plan.instances, now);
+      }
       if (tracer_ != nullptr) {
         trace_setup(rid, now, plan, cause, /*will_retry=*/false, tries);
       }
       break;
     }
-    composition_cost_sum_ += plan.composition_cost;
-    ++composed_;
 
     net::PeerId blamed = net::kNoPeer;
     cause = manager_->start_session(attempt, plan, &blamed);
@@ -362,6 +412,9 @@ void GridSimulation::depart_peer(net::PeerId peer) {
   if (!peers_->alive(peer)) return;
   manager_->peer_departed(peer);
   placement_.remove_peer(peer);
+  // Replicas hosted on the departed peer die with it (their placement
+  // entries just vanished wholesale above).
+  if (replica_ != nullptr) replica_->peer_departed(peer);
   ring_->fail(peer);
   neighbors_->drop_peer(peer);
   peers_->remove_peer(peer, simulator_.now());
@@ -396,6 +449,13 @@ GridResult GridSimulation::run() {
                    [this] { ring_->stabilize_round(config_.stabilize_fraction); });
   simulator_.every(config_.republish_period, config_.republish_period,
                    [this] { directory_->publish_all(); });
+  // Replica retirement sweep, only when the tier exists (an extra periodic
+  // event would otherwise perturb the event count of knobs-off runs).
+  if (replica_ != nullptr) {
+    const sim::SimTime cooldown = config_.replication.cooldown;
+    simulator_.every(cooldown, cooldown,
+                     [this] { replica_->sweep(simulator_.now()); });
+  }
 
   // Workload.
   workload::RequestParams rp = config_.requests;
@@ -448,6 +508,24 @@ GridResult GridSimulation::run() {
   result_.counters.add("sessions.rejected", manager_->stats().rejected);
   result_.counters.add("events.executed", simulator_.executed_events());
   result_.counters.add("net.active_pairs", network_->active_pairs());
+
+  // Replication / concentration accounting, gated like the fault counters:
+  // untracked runs add no counter names.
+  if (replica_ != nullptr) {
+    const replica::ReplicaStats& rs = replica_->stats();
+    result_.counters.add("replica.created", rs.created);
+    result_.counters.add("replica.retired", rs.retired);
+    result_.counters.add("replica.rejected_no_host", rs.rejected_no_host);
+    result_.counters.add("replica.host_departures", rs.host_departures);
+    result_.counters.add("replica.active", replica_->active());
+  }
+  if (config_.track_load || config_.replication.enabled) {
+    result_.counters.add("load.provider_peak", manager_->peak_provider_load());
+    result_.counters.add("load.concentration_peak",
+                         manager_->peak_service_concentration());
+    result_.avg_service_concentration =
+        manager_->mean_service_concentration();
+  }
 
   // Fault accounting, only when injection is on: with the plan disabled the
   // counter set (and hence any exported output) is unchanged.

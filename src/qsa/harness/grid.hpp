@@ -25,6 +25,7 @@
 #include "qsa/registry/catalog.hpp"
 #include "qsa/registry/directory.hpp"
 #include "qsa/registry/placement.hpp"
+#include "qsa/replica/manager.hpp"
 #include "qsa/session/manager.hpp"
 #include "qsa/sim/simulator.hpp"
 #include "qsa/util/interner.hpp"
@@ -62,7 +63,12 @@ struct GridResult {
   std::uint64_t churn_departures = 0;
   std::uint64_t churn_arrivals = 0;
   double avg_composition_cost = 0;  ///< mean over composed requests
-  metrics::Counters counters;       ///< everything else, by name
+  /// Mean co-location share at admission — the fraction of a service's
+  /// active sessions funneled onto the chosen host (see
+  /// SessionManager::mean_service_concentration); 0 when load tracking and
+  /// replication are both off.
+  double avg_service_concentration = 0;
+  metrics::Counters counters;  ///< everything else, by name
 };
 
 class GridSimulation {
@@ -119,6 +125,11 @@ class GridSimulation {
     return fault_plan_.get();
   }
 
+  /// The replication tier; non-null iff `config.replication.enabled`.
+  [[nodiscard]] const replica::ReplicaManager* replicas() const noexcept {
+    return replica_.get();
+  }
+
   /// The trace/metrics sinks; non-null iff `config.observe` is set.
   [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_.get(); }
   [[nodiscard]] obs::MetricsRegistry* metrics() noexcept {
@@ -166,6 +177,7 @@ class GridSimulation {
   std::unique_ptr<session::SessionManager> manager_;
   std::unique_ptr<core::PeerSelector> recovery_selector_;
   std::unique_ptr<fault::FaultPlan> fault_plan_;
+  std::unique_ptr<replica::ReplicaManager> replica_;
 
   util::Rng grid_rng_;
   util::Rng recovery_rng_;

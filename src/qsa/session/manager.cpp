@@ -27,11 +27,17 @@ SessionManager::SessionManager(sim::Simulator& simulator,
 void SessionManager::set_observability(obs::Tracer* tracer,
                                        obs::MetricsRegistry* metrics) {
   tracer_ = tracer;
+  metrics_ = metrics;
   if (metrics == nullptr) {
     active_gauge_ = nullptr;
     duration_hist_ = nullptr;
     time_to_failure_hist_ = nullptr;
     recovery_salvaged_hist_ = nullptr;
+    provider_load_hist_ = nullptr;
+    for (auto& [svc, sl] : service_load_) {
+      sl.max_gauge = nullptr;
+      sl.mean_gauge = nullptr;
+    }
     return;
   }
   active_gauge_ = &metrics->gauge("session.active");
@@ -39,6 +45,91 @@ void SessionManager::set_observability(obs::Tracer* tracer,
   time_to_failure_hist_ = &metrics->histogram("session.time_to_failure_ms");
   recovery_salvaged_hist_ =
       &metrics->histogram("session.recovery_salvaged_ms");
+  // provider.load* names are registered lazily on the first tracked
+  // admission, so untracked runs export no concentration instruments.
+}
+
+std::uint32_t SessionManager::provider_load(net::PeerId peer) const {
+  auto it = hosted_load_.find(peer);
+  return it == hosted_load_.end() ? 0 : it->second;
+}
+
+namespace {
+
+std::uint64_t concentration_key(registry::ServiceId svc,
+                                net::PeerId host) noexcept {
+  return (static_cast<std::uint64_t>(svc) << 32) | host;
+}
+
+}  // namespace
+
+qos::ResourceVector SessionManager::epoch_reservations(
+    net::PeerId peer) const {
+  const auto it = epoch_ledger_.find(peer);
+  if (it == epoch_ledger_.end() ||
+      it->second.epoch != peers_.clock().epoch(simulator_.now())) {
+    return qos::ResourceVector::zeros(peers_.schema().kinds());
+  }
+  return it->second.reserved;
+}
+
+void SessionManager::track_host_gain(net::PeerId host,
+                                     registry::InstanceId instance) {
+  const std::uint32_t load = ++hosted_load_[host];
+  if (load > peak_provider_load_) peak_provider_load_ = load;
+  const registry::ServiceId svc = catalog_.instance(instance).service;
+  const std::uint32_t conc = ++service_host_load_[concentration_key(svc, host)];
+  if (conc > peak_concentration_) peak_concentration_ = conc;
+  const std::uint32_t active = ++service_active_[svc];
+  concentration_sum_ += static_cast<double>(conc) / active;
+  ++concentration_admissions_;
+  EpochLedger& led = epoch_ledger_[host];
+  const std::int64_t epoch = peers_.clock().epoch(simulator_.now());
+  if (led.epoch != epoch) {
+    led.epoch = epoch;
+    led.reserved = qos::ResourceVector::zeros(peers_.schema().kinds());
+  }
+  led.reserved += catalog_.instance(instance).resources;
+  if (metrics_ == nullptr) return;
+  if (provider_load_hist_ == nullptr) {
+    provider_load_hist_ = &metrics_->histogram("provider.load");
+  }
+  provider_load_hist_->observe(static_cast<double>(load));
+  ServiceLoad& sl = service_load_[svc];
+  if (sl.max_gauge == nullptr) {
+    const std::string base = "provider.load." + std::to_string(svc);
+    sl.max_gauge = &metrics_->gauge(base + ".max");
+    sl.mean_gauge = &metrics_->gauge(base + ".mean");
+  }
+  sl.sum += static_cast<double>(load);
+  ++sl.observations;
+  sl.max_gauge->set(static_cast<double>(load));  // gauge keeps the high water
+  sl.mean_gauge->set(sl.sum / static_cast<double>(sl.observations));
+}
+
+void SessionManager::track_host_loss(net::PeerId host,
+                                     registry::InstanceId instance) {
+  auto it = hosted_load_.find(host);
+  if (it == hosted_load_.end()) return;
+  if (--it->second == 0) hosted_load_.erase(it);
+  const registry::ServiceId svc = catalog_.instance(instance).service;
+  auto cit = service_host_load_.find(concentration_key(svc, host));
+  if (cit != service_host_load_.end() && --cit->second == 0) {
+    service_host_load_.erase(cit);
+  }
+  auto sit = service_active_.find(svc);
+  if (sit != service_active_.end() && --sit->second == 0) {
+    service_active_.erase(sit);
+  }
+  // A release inside the epoch that booked the reservation cancels it in
+  // the ledger; releases of older sessions free capacity probes also can't
+  // see yet, which we conservatively ignore.
+  auto lit = epoch_ledger_.find(host);
+  if (lit != epoch_ledger_.end() &&
+      lit->second.epoch == peers_.clock().epoch(simulator_.now())) {
+    lit->second.reserved -= catalog_.instance(instance).resources;
+    lit->second.reserved.clamp_negative_zero();
+  }
 }
 
 void SessionManager::index(const Session& s) {
@@ -77,6 +168,7 @@ core::FailureCause SessionManager::start_session(
   // All-or-nothing admission: reserve host resources, then link bandwidth,
   // rolling everything back on the first shortage.
   bool ok = true;
+  net::PeerId blame = net::kNoPeer;
   for (std::size_t i = 0; i < plan.instances.size() && ok; ++i) {
     const auto& inst = catalog_.instance(plan.instances[i]);
     if (peers_.try_reserve(plan.hosts[i], inst.resources, now)) {
@@ -84,7 +176,7 @@ core::FailureCause SessionManager::start_session(
           HostReservation{plan.hosts[i], inst.resources});
     } else {
       ok = false;
-      if (blamed != nullptr) *blamed = plan.hosts[i];
+      blame = plan.hosts[i];
     }
   }
   // Aggregation-flow edges: producer i feeds consumer i+1; the sink (last
@@ -99,12 +191,21 @@ core::FailureCause SessionManager::start_session(
           LinkReservation{from, to, inst.bandwidth_kbps});
     } else {
       ok = false;
-      if (blamed != nullptr) *blamed = from;
+      blame = from;
     }
   }
   if (!ok) {
     release_all(s);
     ++stats_.rejected;
+    if (blamed != nullptr) *blamed = blame;
+    if (demand_) {
+      DemandSignal sig;
+      sig.kind = DemandSignal::Kind::kRejected;
+      sig.instances = plan.instances;
+      sig.hosts = plan.hosts;
+      sig.blamed = blame;
+      demand_(sig);
+    }
     return core::FailureCause::kAdmission;
   }
 
@@ -122,6 +223,18 @@ core::FailureCause SessionManager::start_session(
   ++stats_.admitted;
   if (active_gauge_ != nullptr) {
     active_gauge_->set(static_cast<double>(sessions_.size()));
+  }
+  if (track_load_) {
+    for (std::size_t i = 0; i < plan.hosts.size(); ++i) {
+      track_host_gain(plan.hosts[i], plan.instances[i]);
+    }
+  }
+  if (demand_) {
+    DemandSignal sig;
+    sig.kind = DemandSignal::Kind::kAdmitted;
+    sig.instances = plan.instances;
+    sig.hosts = plan.hosts;
+    demand_(sig);
   }
   return core::FailureCause::kNone;
 }
@@ -171,7 +284,20 @@ void SessionManager::finish_session(SessionId id, core::FailureCause cause) {
                        obs::SpanStatus::kOk);
     }
   }
+  if (track_load_) {
+    for (std::size_t i = 0; i < s.hosts.size(); ++i) {
+      track_host_loss(s.hosts[i], s.instances[i]);
+    }
+  }
   if (outcome_) outcome_(s, cause);
+  if (demand_) {
+    DemandSignal sig;
+    sig.kind = DemandSignal::Kind::kTeardown;
+    sig.instances = s.instances;
+    sig.hosts = s.hosts;
+    sig.cause = cause;
+    demand_(sig);
+  }
 }
 
 bool SessionManager::try_recover(SessionId id, net::PeerId failed) {
@@ -286,6 +412,13 @@ bool SessionManager::recover_hosts(Session& s, net::PeerId failed) {
 
   // Commit: swap hosts, fix the reservation records and the peer index.
   unindex(s);
+  if (track_load_) {
+    for (std::size_t i = 0; i < new_hosts.size(); ++i) {
+      if (s.hosts[i] == new_hosts[i]) continue;
+      track_host_loss(s.hosts[i], s.instances[i]);
+      track_host_gain(new_hosts[i], s.instances[i]);
+    }
+  }
   s.hosts = new_hosts;
   // Drop host-reservation records held on the failed peer; keep the rest
   // and append the new ones.

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +27,22 @@
 #include "qsa/sim/simulator.hpp"
 
 namespace qsa::session {
+
+/// One admission outcome, as the replication tier wants to hear about it:
+/// what was asked for, where it landed (or failed), and why. The spans point
+/// into the plan/session and are only valid during the callback.
+struct DemandSignal {
+  enum class Kind : std::uint8_t {
+    kAdmitted,  ///< reservations held; session running
+    kRejected,  ///< reservation shortage; `blamed` names the short host
+    kTeardown,  ///< session over (cause kNone) or aborted (kDeparture)
+  };
+  Kind kind = Kind::kAdmitted;
+  std::span<const registry::InstanceId> instances;
+  std::span<const net::PeerId> hosts;
+  net::PeerId blamed = net::kNoPeer;                     ///< kRejected only
+  core::FailureCause cause = core::FailureCause::kNone;  ///< kTeardown only
+};
 
 struct SessionStats {
   std::uint64_t admitted = 0;
@@ -54,6 +71,17 @@ class SessionManager {
                  const registry::ServiceCatalog& catalog);
 
   void set_outcome_callback(OutcomeCallback cb) { outcome_ = std::move(cb); }
+
+  /// Invoked on every admission outcome and teardown (see DemandSignal).
+  using DemandCallback = std::function<void(const DemandSignal&)>;
+  void set_demand_callback(DemandCallback cb) { demand_ = std::move(cb); }
+
+  /// Enables provider-load concentration accounting (DESIGN.md §4): how
+  /// many admitted sessions each peer is hosting, its run-wide peak, and —
+  /// when metrics are attached — a log-bucketed `provider.load` histogram
+  /// plus per-service `provider.load.{max,mean}.s<id>` gauges. Off by
+  /// default so untracked runs register no new metric names.
+  void set_load_tracking(bool on) { track_load_ = on; }
 
   /// Attaches observability (optional; null detaches). Traced sessions
   /// (request trace_id != 0) get a `running` span from admission to
@@ -100,6 +128,43 @@ class SessionManager {
   }
   [[nodiscard]] const SessionStats& stats() const noexcept { return stats_; }
 
+  /// Run-wide peak of concurrent sessions hosted by any single provider
+  /// (0 until load tracking is enabled).
+  [[nodiscard]] std::uint32_t peak_provider_load() const noexcept {
+    return peak_provider_load_;
+  }
+  /// Run-wide peak of concurrent sessions of any *single service* on any
+  /// single host (0 until load tracking is enabled): the concentration
+  /// metric replication attacks — QCS funnels a service's whole demand
+  /// onto one instance chain, so one pool's hosts run hot while equivalent
+  /// capacity idles; clones widen the pool and cap this peak.
+  [[nodiscard]] std::uint32_t peak_service_concentration() const noexcept {
+    return peak_concentration_;
+  }
+  /// Mean co-location *share* seen at admission: for every hosted instance
+  /// of every admitted session, the fraction of that service's active
+  /// sessions running on the chosen host (inclusive). 1.0 means the whole
+  /// service is funneled onto single hosts; spreading across an h-host
+  /// pool drives it toward 1/h. Unlike the run-wide peak (or a raw depth
+  /// mean) this is volume-fair — a higher-throughput run is not penalized
+  /// for carrying more concurrent sessions — so it is the concentration
+  /// number the replication ablation compares. 0 until load tracking is
+  /// enabled.
+  [[nodiscard]] double mean_service_concentration() const noexcept {
+    return concentration_admissions_ == 0
+               ? 0
+               : concentration_sum_ /
+                     static_cast<double>(concentration_admissions_);
+  }
+  /// Sessions `peer` currently hosts (0 when untracked or unknown).
+  [[nodiscard]] std::uint32_t provider_load(net::PeerId peer) const;
+
+  /// Host resources reserved on `peer` since the current probe-epoch
+  /// boundary — commitments a probed snapshot cannot see yet. Zero when
+  /// load tracking is off or nothing was reserved this epoch. Feeds the
+  /// selector's load signal (core::PeerSelector::set_load_signal).
+  [[nodiscard]] qos::ResourceVector epoch_reservations(net::PeerId peer) const;
+
  private:
   void finish_session(SessionId id, core::FailureCause cause);
   void release_all(Session& s);
@@ -116,20 +181,53 @@ class SessionManager {
   bool reservation_rtt(net::PeerId a, net::PeerId b);
   void unindex(const Session& s);
   void index(const Session& s);
+  /// Load accounting on host `host` gaining/losing a hosted session; emits
+  /// the concentration instruments for the instance at that position.
+  void track_host_gain(net::PeerId host, registry::InstanceId instance);
+  void track_host_loss(net::PeerId host, registry::InstanceId instance);
 
   sim::Simulator& simulator_;
   net::PeerTable& peers_;
   net::NetworkModel& net_;
   const registry::ServiceCatalog& catalog_;
   OutcomeCallback outcome_;
+  DemandCallback demand_;
   RecoveryFn recovery_;
   const fault::FaultPlan* faults_ = nullptr;
 
   obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   obs::Gauge* active_gauge_ = nullptr;
   obs::Histogram* duration_hist_ = nullptr;
   obs::Histogram* time_to_failure_hist_ = nullptr;
   obs::Histogram* recovery_salvaged_hist_ = nullptr;
+  obs::Histogram* provider_load_hist_ = nullptr;
+
+  // Concentration accounting (only when track_load_).
+  bool track_load_ = false;
+  std::uint32_t peak_provider_load_ = 0;
+  std::uint32_t peak_concentration_ = 0;
+  double concentration_sum_ = 0;
+  std::uint64_t concentration_admissions_ = 0;
+  std::unordered_map<net::PeerId, std::uint32_t> hosted_load_;
+  // Concurrent sessions per (service, host) pair, key (service << 32) | host.
+  std::unordered_map<std::uint64_t, std::uint32_t> service_host_load_;
+  // Concurrent sessions per service (the co-location share's denominator).
+  std::unordered_map<registry::ServiceId, std::uint32_t> service_active_;
+  // Resources reserved per host during the probe epoch `epoch`; stale
+  // entries are implicitly zero (the boundary has passed, probes see them).
+  struct EpochLedger {
+    std::int64_t epoch = -1;
+    qos::ResourceVector reserved;
+  };
+  std::unordered_map<net::PeerId, EpochLedger> epoch_ledger_;
+  struct ServiceLoad {
+    obs::Gauge* max_gauge = nullptr;
+    obs::Gauge* mean_gauge = nullptr;
+    double sum = 0;
+    std::uint64_t observations = 0;
+  };
+  std::unordered_map<registry::ServiceId, ServiceLoad> service_load_;
 
   std::unordered_map<SessionId, Session> sessions_;
   std::unordered_map<net::PeerId, std::vector<SessionId>> by_peer_;

@@ -1,6 +1,8 @@
 #include "qsa/util/flags.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace qsa::util {
@@ -42,6 +44,9 @@ Flags::Flags(int argc, const char* const* argv) {
 }
 
 std::optional<std::string> Flags::raw(std::string_view name) const {
+  if (std::find(queried_.begin(), queried_.end(), name) == queried_.end()) {
+    queried_.emplace_back(name);
+  }
   for (const auto& [k, v] : kv_) {
     if (k == name) return v;
   }
@@ -49,6 +54,38 @@ std::optional<std::string> Flags::raw(std::string_view name) const {
     return std::string(env);
   }
   return std::nullopt;
+}
+
+std::vector<std::string> Flags::unknown() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    if (std::find(queried_.begin(), queried_.end(), k) != queried_.end()) {
+      continue;
+    }
+    if (std::find(out.begin(), out.end(), k) == out.end()) out.push_back(k);
+  }
+  return out;
+}
+
+std::vector<std::string> Flags::known() const {
+  std::vector<std::string> out = queried_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void reject_unknown_flags(const Flags& flags, std::string_view program) {
+  const std::vector<std::string> bad = flags.unknown();
+  if (bad.empty()) return;
+  std::fprintf(stderr, "%.*s: unknown flag", static_cast<int>(program.size()),
+               program.data());
+  for (const auto& f : bad) std::fprintf(stderr, " --%s", f.c_str());
+  std::fprintf(stderr, "\nusage: %.*s [--flag=value ...]\nrecognized flags:",
+               static_cast<int>(program.size()), program.data());
+  for (const auto& f : flags.known()) std::fprintf(stderr, " --%s", f.c_str());
+  std::fprintf(stderr,
+               "\n(each also settable via the QSA_<NAME> environment "
+               "variable; see --help)\n");
+  std::exit(2);
 }
 
 std::string Flags::get(std::string_view name, std::string_view def) const {

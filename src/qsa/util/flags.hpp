@@ -33,11 +33,27 @@ class Flags {
   /// True if --help was passed.
   [[nodiscard]] bool help() const { return help_; }
 
+  /// Command-line `--flags` that no raw()/get*() lookup has consulted so
+  /// far — typos that would otherwise silently run the wrong experiment.
+  /// First-occurrence order, deduplicated. Call after the last lookup.
+  [[nodiscard]] std::vector<std::string> unknown() const;
+
+  /// Every flag name the program has consulted (its vocabulary), sorted.
+  [[nodiscard]] std::vector<std::string> known() const;
+
  private:
   std::vector<std::pair<std::string, std::string>> kv_;
   std::vector<std::string> positional_;
+  // Names consulted via raw(); mutable because lookups are logically const.
+  mutable std::vector<std::string> queried_;
   bool help_ = false;
 };
+
+/// Standard unknown-flag policy for the CLI binaries: if `flags` holds a
+/// `--flag` the program never consulted, print the offenders and the
+/// recognized vocabulary to stderr and exit with status 2. Call after the
+/// last get*() lookup.
+void reject_unknown_flags(const Flags& flags, std::string_view program);
 
 /// Parses a comma-separated list of doubles, e.g. "50,100,200".
 [[nodiscard]] std::vector<double> parse_double_list(std::string_view text);

@@ -24,6 +24,7 @@
 #include "qsa/overlay/chord_ring.hpp"
 #include "qsa/qos/satisfy.hpp"
 #include "qsa/registry/directory.hpp"
+#include "qsa/replica/manager.hpp"
 #include "qsa/util/rng.hpp"
 #include "qsa/workload/apps.hpp"
 
@@ -320,6 +321,57 @@ TEST_F(CachedDirectoryFixture, DisabledCacheRegistersNoCacheMetrics) {
   EXPECT_EQ(reg.counters().count("cache.discovery.hits"), 0u);
   EXPECT_EQ(reg.counters().count("cache.discovery.misses"), 0u);
   EXPECT_EQ(reg.counter("directory.lookups").value, 2u);
+}
+
+TEST_F(CachedDirectoryFixture, ReplicaPublishInvalidatesCachedDiscovery) {
+  registry::ServiceDirectory dir(1, ring, catalog);
+  dir.set_cache_ttl(sim::SimTime::minutes(10));
+  obs::MetricsRegistry reg;
+  dir.set_metrics(&reg);
+  dir.publish_all();
+
+  // A minimal replication setup over the same directory: one provider,
+  // pressure gate off so pure demand trips the clone.
+  registry::PlacementMap placement;
+  net::PeerTable peers(qos::ResourceSchema::paper(), net::ProbeClock());
+  net::NetworkModel net(1, net::ProbeClock());
+  std::vector<net::PeerId> pid;
+  for (int p = 0; p < 16; ++p) {
+    pid.push_back(peers.add_peer(qos::ResourceVector{500, 500},
+                                 sim::SimTime::minutes(-100)));
+  }
+  placement.add_provider(i0, pid[0]);
+  replica::ReplicaConfig cfg;
+  cfg.enabled = true;
+  cfg.threshold = 2;
+  cfg.cooldown = sim::SimTime::minutes(1);
+  cfg.min_pool_pressure = 0;
+  replica::ReplicaManager mgr(7, cfg, catalog, placement, dir, peers, net,
+                              qos::TupleWeights::uniform(2),
+                              qos::ResourceSchema::paper());
+
+  (void)dir.discover(s0, 5, nullptr, sim::SimTime::zero());
+  (void)dir.discover(s0, 5, nullptr, sim::SimTime::seconds(1));
+  EXPECT_EQ(reg.counter("cache.discovery.hits").value, 1u);
+
+  // The replica lands mid-TTL; its publish must drop the cached candidate
+  // list exactly like any other registration change...
+  const registry::InstanceId insts[] = {i0};
+  mgr.on_selection_failure(insts, sim::SimTime::seconds(2));
+  ASSERT_EQ(mgr.stats().created, 1u);
+  EXPECT_EQ(reg.counter("cache.discovery.invalidations").value, 1u);
+
+  // ...so the next discover routes through the overlay again instead of
+  // serving the pre-replica state for the rest of the TTL.
+  (void)dir.discover(s0, 5, nullptr, sim::SimTime::seconds(3));
+  EXPECT_EQ(reg.counter("cache.discovery.misses").value, 2u);
+  EXPECT_EQ(reg.counter("directory.lookups").value, 2u);
+
+  // Retirement narrows the pool: the cache drops again.
+  (void)dir.discover(s0, 5, nullptr, sim::SimTime::seconds(4));
+  mgr.sweep(sim::SimTime::minutes(30));
+  ASSERT_EQ(mgr.stats().retired, 1u);
+  EXPECT_EQ(reg.counter("cache.discovery.invalidations").value, 2u);
 }
 
 // ------------------------------------------------ grid-level transparency

@@ -8,6 +8,7 @@
 #include "qsa/registry/catalog.hpp"
 #include "qsa/registry/directory.hpp"
 #include "qsa/registry/placement.hpp"
+#include "qsa/replica/manager.hpp"
 #include "qsa/util/interner.hpp"
 
 namespace qsa::registry {
@@ -203,6 +204,54 @@ TEST(PlacementMap, RemovePeerClearsBothIndexes) {
 TEST(PlacementMap, RemoveUnknownPeerReturnsEmpty) {
   PlacementMap pm;
   EXPECT_TRUE(pm.remove_peer(42).empty());
+}
+
+TEST(PlacementMap, ReplicaHostDepartureUnpublishesItsCopies) {
+  // The churn path for replicated instances: the harness removes the
+  // departed peer from the placement map wholesale and then notifies the
+  // ReplicaManager, which drops the host's replica records so the clones
+  // stop counting against max_replicas.
+  overlay::ChordRing ring(1, 3);
+  ServiceCatalog catalog;
+  PlacementMap pm;
+  net::PeerTable peers(qos::ResourceSchema::paper(), net::ProbeClock());
+  net::NetworkModel net(1, net::ProbeClock());
+  std::vector<net::PeerId> ids;
+  for (int p = 0; p < 24; ++p) {
+    ids.push_back(peers.add_peer(qos::ResourceVector{500, 500},
+                                 sim::SimTime::minutes(-100)));
+    ring.join(ids.back());
+  }
+  ring.stabilize_all();
+  const auto s0 = catalog.add_service("a");
+  const auto i0 = catalog.add_instance(make_instance(s0));
+  pm.add_provider(i0, ids[0]);
+  ServiceDirectory dir(1, ring, catalog);
+  dir.publish_all();
+
+  replica::ReplicaConfig cfg;
+  cfg.enabled = true;
+  cfg.threshold = 2;
+  cfg.cooldown = sim::SimTime::minutes(1);
+  cfg.min_pool_pressure = 0;
+  cfg.max_replicas = 1;
+  replica::ReplicaManager mgr(7, cfg, catalog, pm, dir, peers, net,
+                              qos::TupleWeights::uniform(2),
+                              qos::ResourceSchema::paper());
+  const InstanceId insts[] = {i0};
+  mgr.on_selection_failure(insts, sim::SimTime::minutes(1));
+  ASSERT_EQ(mgr.active(), 1u);
+  const net::PeerId host = mgr.replicas()[0].host;
+  ASSERT_EQ(pm.provider_count(i0), 2u);
+
+  const auto orphaned = pm.remove_peer(host);
+  mgr.peer_departed(host);
+  EXPECT_EQ(orphaned, (std::vector<InstanceId>{i0}));
+  EXPECT_EQ(pm.provider_count(i0), 1u);
+  EXPECT_EQ(pm.providers(i0)[0], ids[0]);
+  EXPECT_TRUE(pm.provided_by(host).empty());
+  EXPECT_EQ(mgr.active(), 0u);
+  EXPECT_EQ(mgr.stats().host_departures, 1u);
 }
 
 // --------------------------------------------------------- ServiceDirectory

@@ -340,6 +340,69 @@ TEST(Flags, BoolSpellings) {
   EXPECT_FALSE(f.get_bool("d", true));
 }
 
+TEST(Flags, UnknownListsUnqueriedFlags) {
+  // "--fault-los" is the classic typo for "--fault-loss": the program never
+  // reads it, so it must surface instead of silently running loss=0.
+  const char* argv[] = {"prog", "--fault-los=0.2", "--rate=5"};
+  Flags f(3, argv);
+  EXPECT_EQ(f.get_double("rate", 0), 5);
+  const auto bad = f.unknown();
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], "fault-los");
+}
+
+TEST(Flags, UnknownShrinksAsFlagsAreQueried) {
+  const char* argv[] = {"prog", "--alpha=1", "--beta", "2", "--gamma"};
+  Flags f(5, argv);
+  EXPECT_EQ(f.unknown().size(), 3u);
+  EXPECT_EQ(f.get_int("alpha", 0), 1);
+  EXPECT_EQ(f.unknown(), (std::vector<std::string>{"beta", "gamma"}));
+  EXPECT_EQ(f.get("beta", ""), "2");
+  EXPECT_TRUE(f.get_bool("gamma", false));
+  EXPECT_TRUE(f.unknown().empty());
+}
+
+TEST(Flags, UnknownIgnoresHelpPositionalsAndEnvironment) {
+  // --help never reaches kv_, positionals are not flags, and environment
+  // variables cannot be typos on this command line.
+  ::setenv("QSA_NOT_ON_CLI", "1", 1);
+  const char* argv[] = {"prog", "--help", "positional"};
+  Flags f(3, argv);
+  EXPECT_TRUE(f.help());
+  EXPECT_TRUE(f.unknown().empty());
+  ::unsetenv("QSA_NOT_ON_CLI");
+}
+
+TEST(Flags, UnknownDeduplicatesRepeatedFlags) {
+  const char* argv[] = {"prog", "--x=1", "--x=2"};
+  Flags f(3, argv);
+  EXPECT_EQ(f.unknown(), std::vector<std::string>{"x"});
+}
+
+TEST(Flags, KnownIsTheSortedQueryVocabulary) {
+  const char* argv[] = {"prog"};
+  Flags f(1, argv);
+  (void)f.get_int("zeta", 0);
+  (void)f.get_bool("alpha", false);
+  (void)f.get_double("alpha", 0);  // repeated lookups count once
+  EXPECT_EQ(f.known(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(FlagsDeathTest, RejectUnknownFlagsExitsWithStatusTwo) {
+  const char* argv[] = {"prog", "--replica-treshold=3"};
+  Flags f(2, argv);
+  (void)f.get_double("replica-threshold", 8);
+  EXPECT_EXIT(reject_unknown_flags(f, "prog"),
+              ::testing::ExitedWithCode(2), "unknown flag --replica-treshold");
+}
+
+TEST(Flags, RejectUnknownFlagsReturnsWhenAllQueried) {
+  const char* argv[] = {"prog", "--rate=5"};
+  Flags f(2, argv);
+  EXPECT_EQ(f.get_int("rate", 0), 5);
+  reject_unknown_flags(f, "prog");  // must not exit
+}
+
 TEST(ParseDoubleList, Basic) {
   const auto v = parse_double_list("50,100,200.5");
   ASSERT_EQ(v.size(), 3u);

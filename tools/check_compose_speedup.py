@@ -22,17 +22,39 @@ import sys
 
 
 def load_pairs(report):
+    """Returns (pairs, problems): one (args, plain_ns, cached_ns) triple per
+    benchmark size present on both sides, plus a human-readable list of
+    everything that kept a row out of a pair — a missing counterpart or a
+    row without a real_time field — each problem naming the offending
+    BM_QcsCompose* row."""
     plain, cached = {}, {}
+    problems = []
     for row in report.get("benchmarks", []):
         name = row.get("name", "")
         if row.get("run_type") == "aggregate":
             continue
         args = "/".join(name.split("/")[1:])
         if name.startswith("BM_QcsComposeCached/"):
-            cached[args] = row["real_time"]
+            side = cached
         elif name.startswith("BM_QcsCompose/"):
-            plain[args] = row["real_time"]
-    return [(a, plain[a], cached[a]) for a in plain if a in cached]
+            side = plain
+        else:
+            continue
+        if "real_time" not in row:
+            problems.append(f"row '{name}' has no real_time field")
+            continue
+        side[args] = row["real_time"]
+    for args in sorted(plain.keys() | cached.keys()):
+        if args not in cached:
+            problems.append(
+                f"row 'BM_QcsCompose/{args}' has no matching "
+                f"'BM_QcsComposeCached/{args}' row")
+        elif args not in plain:
+            problems.append(
+                f"row 'BM_QcsComposeCached/{args}' has no matching "
+                f"'BM_QcsCompose/{args}' row")
+    pairs = [(a, plain[a], cached[a]) for a in plain if a in cached]
+    return pairs, problems
 
 
 def main():
@@ -45,7 +67,14 @@ def main():
     with open(opts.report, encoding="utf-8") as fh:
         report = json.load(fh)
 
-    pairs = load_pairs(report)
+    pairs, problems = load_pairs(report)
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if problems:
+        print("error: the report is missing BM_QcsCompose* rows — was "
+              "micro_algorithms run with "
+              "--benchmark_filter='BM_QcsCompose'?", file=sys.stderr)
+        return 2
     if not pairs:
         print("error: no BM_QcsCompose/BM_QcsComposeCached pairs in report",
               file=sys.stderr)
