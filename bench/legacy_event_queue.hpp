@@ -1,0 +1,104 @@
+// The pre-refactor event queue, kept verbatim (modulo namespace) as the
+// in-binary baseline for bench_sim_throughput and the CI speedup gate
+// (tools/check_sim_speedup.py). Binary heap of owning items, lazy
+// cancellation through two std::unordered_set side tables, std::function
+// actions — every property the slab/indexed-heap engine in qsa/sim was built
+// to remove. Benchmark-only: nothing in the library links this.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "qsa/sim/time.hpp"
+#include "qsa/util/expects.hpp"
+
+namespace qsa::bench::legacy {
+
+class EventHandle {
+ public:
+  EventHandle() = default;
+  [[nodiscard]] bool valid() const noexcept { return seq_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::uint64_t seq) noexcept : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  EventHandle schedule(sim::SimTime at, Action action) {
+    QSA_EXPECTS(action != nullptr);
+    const std::uint64_t seq = next_seq_++;
+    heap_.push_back(Item{at, seq, std::move(action)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    live_seqs_.insert(seq);
+    ++live_;
+    return EventHandle(seq);
+  }
+
+  void cancel(EventHandle h) {
+    if (!h.valid()) return;
+    if (live_seqs_.erase(h.seq_) == 0) return;
+    cancelled_.insert(h.seq_);
+    --live_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+  [[nodiscard]] sim::SimTime next_time() {
+    skim();
+    return heap_.empty() ? sim::SimTime::infinity() : heap_.front().time;
+  }
+
+  struct Fired {
+    sim::SimTime time;
+    Action action;
+  };
+  Fired pop() {
+    skim();
+    QSA_EXPECTS(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Item item = std::move(heap_.back());
+    heap_.pop_back();
+    live_seqs_.erase(item.seq);
+    --live_;
+    return Fired{item.time, std::move(item.action)};
+  }
+
+ private:
+  struct Item {
+    sim::SimTime time;
+    std::uint64_t seq = 0;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+    }
+  };
+
+  void skim() {
+    while (!heap_.empty()) {
+      auto it = cancelled_.find(heap_.front().seq);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+  }
+
+  std::vector<Item> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> live_seqs_;
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace qsa::bench::legacy

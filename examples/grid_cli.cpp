@@ -49,6 +49,9 @@ void print_usage() {
       "  --track-load       provider-load concentration accounting without\n"
       "                     replication (implied by --replication)\n"
       "  --seed=S           root seed (default 42)\n"
+      "  --profile          wall-clock the bootstrap and event-loop phases\n"
+      "                     (summary on stderr; with --metrics-out, also\n"
+      "                     perf.* gauges — host timings, non-deterministic)\n"
       "  --csv              also emit the psi time series as CSV\n"
       "  --trace-out=FILE   write the per-request trace as JSON lines\n"
       "  --metrics-out=FILE write the metrics snapshot (CSV if FILE ends\n"
@@ -90,6 +93,7 @@ int main(int argc, char** argv) {
   cfg.replication.max_replicas = static_cast<int>(
       flags.get_int("max-replicas", cfg.replication.max_replicas));
   cfg.track_load = flags.get_bool("track-load", false);
+  cfg.profile = flags.get_bool("profile", false);
   const std::string trace_out = flags.get("trace-out", "");
   const std::string metrics_out = flags.get("metrics-out", "");
   cfg.observe = !trace_out.empty() || !metrics_out.empty();
@@ -187,6 +191,17 @@ int main(int argc, char** argv) {
       obs::write_metrics_json(*grid.metrics(), os);
     }
     std::printf("metrics -> %s\n", metrics_out.c_str());
+  }
+
+  if (cfg.profile) {
+    // stderr, so stdout stays identical to an unprofiled run.
+    const harness::ProfileReport& p = grid.profile_report();
+    std::fprintf(stderr,
+                 "profile: bootstrap %.1f ms, run %.1f ms, %llu events "
+                 "(%.3g events/sec), queue peak %zu\n",
+                 p.bootstrap_ms, p.run_ms,
+                 static_cast<unsigned long long>(p.events), p.events_per_sec,
+                 p.queue_peak);
   }
 
   if (emit_csv) {

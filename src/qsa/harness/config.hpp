@@ -119,6 +119,14 @@ struct GridConfig {
   /// run allocates nothing for observability.
   bool observe = false;
 
+  /// Wall-clock phase profiling: times bootstrap and the event loop with the
+  /// host's monotonic clock and — when `observe` provides a registry —
+  /// exports `perf.wall_ms.{bootstrap,run}`, `perf.events_per_sec` and the
+  /// `sim.queue_peak` capacity watermark as gauges. Off by default; the
+  /// values are wall-clock (non-deterministic), so the gate keeps knobs-off
+  /// output byte-identical.
+  bool profile = false;
+
   /// Scales population-bound knobs (peer count, request rate, churn rate) by
   /// `factor`, preserving per-peer load and churned population fraction so
   /// the figures keep their shape at laptop scale.

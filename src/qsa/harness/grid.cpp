@@ -1,5 +1,6 @@
 #include "qsa/harness/grid.hpp"
 
+#include <chrono>
 #include <unordered_set>
 #include <utility>
 
@@ -178,7 +179,16 @@ GridSimulation::GridSimulation(GridConfig config)
         }
       });
 
-  bootstrap();
+  if (config_.profile) {
+    const auto t0 = std::chrono::steady_clock::now();
+    bootstrap();
+    profile_.bootstrap_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+  } else {
+    bootstrap();
+  }
 }
 
 GridSimulation::~GridSimulation() = default;
@@ -474,7 +484,17 @@ GridResult GridSimulation::run() {
       [this] { arrive_peer(); });
   churn.start(horizon);
 
-  simulator_.run_until(horizon);
+  if (config_.profile) {
+    // Wall-clock the event loop alone: periodic registration above and the
+    // accounting below are one-shot, the loop is where the engine lives.
+    const auto t0 = std::chrono::steady_clock::now();
+    simulator_.run_until(horizon);
+    profile_.run_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  } else {
+    simulator_.run_until(horizon);
+  }
 
   // Sessions still healthy at the horizon count as successes.
   for (const auto& [id, pending] : pending_window_) {
@@ -565,6 +585,25 @@ GridResult GridSimulation::run() {
     metrics_->add("session.aborted", manager_->stats().aborted);
     metrics_->add("session.recovered", manager_->stats().recovered);
     metrics_->add("session.rejected", manager_->stats().rejected);
+  }
+
+  // Profiling export, gated on its own flag: the values are host wall-clock,
+  // so keeping them out of the default metric set preserves byte-identical
+  // knobs-off output.
+  if (config_.profile) {
+    profile_.events = simulator_.executed_events();
+    profile_.events_per_sec =
+        profile_.run_ms > 0
+            ? static_cast<double>(profile_.events) * 1000.0 / profile_.run_ms
+            : 0;
+    profile_.queue_peak = simulator_.max_pending_events();
+    if (metrics_ != nullptr) {
+      metrics_->set("perf.wall_ms.bootstrap", profile_.bootstrap_ms);
+      metrics_->set("perf.wall_ms.run", profile_.run_ms);
+      metrics_->set("perf.events_per_sec", profile_.events_per_sec);
+      metrics_->set("sim.queue_peak",
+                    static_cast<double>(profile_.queue_peak));
+    }
   }
   return result_;
 }

@@ -71,6 +71,16 @@ struct GridResult {
   metrics::Counters counters;  ///< everything else, by name
 };
 
+/// Wall-clock phase timings of one run (GridConfig::profile). Host-clock
+/// measurements: useful for perf work, never fed back into the simulation.
+struct ProfileReport {
+  double bootstrap_ms = 0;    ///< construction + population bootstrap
+  double run_ms = 0;          ///< the discrete-event loop
+  std::uint64_t events = 0;   ///< events executed by the loop
+  double events_per_sec = 0;  ///< events / run wall-clock
+  std::size_t queue_peak = 0; ///< live-event high-water mark
+};
+
 class GridSimulation {
  public:
   explicit GridSimulation(GridConfig config);
@@ -128,6 +138,11 @@ class GridSimulation {
   /// The replication tier; non-null iff `config.replication.enabled`.
   [[nodiscard]] const replica::ReplicaManager* replicas() const noexcept {
     return replica_.get();
+  }
+
+  /// Wall-clock phase timings; populated by run() iff `config.profile`.
+  [[nodiscard]] const ProfileReport& profile_report() const noexcept {
+    return profile_;
   }
 
   /// The trace/metrics sinks; non-null iff `config.observe` is set.
@@ -195,6 +210,7 @@ class GridSimulation {
   std::vector<Window> windows_;
   std::unordered_map<session::SessionId, Pending> pending_window_;
   GridResult result_;
+  ProfileReport profile_;
   double composition_cost_sum_ = 0;
   std::uint64_t composed_ = 0;
 

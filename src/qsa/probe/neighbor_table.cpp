@@ -1,5 +1,7 @@
 #include "qsa/probe/neighbor_table.hpp"
 
+#include <vector>
+
 #include "qsa/util/expects.hpp"
 
 namespace qsa::probe {
@@ -11,6 +13,7 @@ NeighborTable::NeighborTable(std::size_t budget) : budget_(budget) {
 bool NeighborTable::add(net::PeerId peer, std::uint8_t hop, NeighborKind kind,
                         sim::SimTime now, sim::SimTime ttl) {
   QSA_EXPECTS(hop >= 1);
+  QSA_EXPECTS(budget_ >= 1);  // default-constructed tables never take adds
   const sim::SimTime expires = now + ttl;
   if (auto it = entries_.find(peer); it != entries_.end()) {
     // Refresh: keep the better benefit, extend the deadline.
@@ -24,46 +27,56 @@ bool NeighborTable::add(net::PeerId peer, std::uint8_t hop, NeighborKind kind,
   if (entries_.size() >= budget_) {
     // Evict the lowest-benefit entry, breaking ties towards the one expiring
     // soonest — but never evict something more beneficial than the newcomer.
-    // Every comparison level ends with a PeerId tiebreak: iteration order of
-    // the unordered_map differs across standard libraries, so without a
-    // total order the evicted peer (and everything downstream of the table's
-    // contents) would not be reproducible.
-    auto victim = entries_.end();    // worst live entry
-    auto expired = entries_.end();   // longest-expired entry, if any
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->second.expires <= now) {
-        if (expired == entries_.end() ||
-            it->second.expires < expired->second.expires ||
-            (it->second.expires == expired->second.expires &&
-             it->first > expired->first)) {
-          expired = it;  // expired: free to reuse regardless of rank
+    // Every comparison level ends with a PeerId tiebreak: the victim is a
+    // pure function of the table contents, independent of iteration order,
+    // so the evicted peer (and everything downstream of the table's
+    // contents) is reproducible.
+    bool have_victim = false;   // worst live entry
+    bool have_expired = false;  // longest-expired entry, if any
+    net::PeerId victim_peer = net::kNoPeer;
+    NeighborEntry victim_entry;
+    net::PeerId expired_peer = net::kNoPeer;
+    NeighborEntry expired_entry;
+    for (const auto& [p, entry] : entries_) {
+      if (entry.expires <= now) {
+        if (!have_expired || entry.expires < expired_entry.expires ||
+            (entry.expires == expired_entry.expires && p > expired_peer)) {
+          have_expired = true;  // expired: free to reuse regardless of rank
+          expired_peer = p;
+          expired_entry = entry;
         }
         continue;
       }
-      if (victim == entries_.end()) {
-        victim = it;
+      if (!have_victim) {
+        have_victim = true;
+        victim_peer = p;
+        victim_entry = entry;
         continue;
       }
-      const int it_rank = benefit_rank(it->second.hop, it->second.kind);
+      const int p_rank = benefit_rank(entry.hop, entry.kind);
       const int victim_rank =
-          benefit_rank(victim->second.hop, victim->second.kind);
-      if (it_rank > victim_rank ||
-          (it_rank == victim_rank &&
-           (it->second.expires < victim->second.expires ||
-            (it->second.expires == victim->second.expires &&
-             it->first > victim->first)))) {
-        victim = it;
+          benefit_rank(victim_entry.hop, victim_entry.kind);
+      if (p_rank > victim_rank ||
+          (p_rank == victim_rank &&
+           (entry.expires < victim_entry.expires ||
+            (entry.expires == victim_entry.expires && p > victim_peer)))) {
+        victim_peer = p;
+        victim_entry = entry;
       }
     }
-    if (expired != entries_.end()) victim = expired;
-    QSA_ASSERT(victim != entries_.end());
-    const bool victim_expired = victim->second.expires <= now;
+    if (have_expired) {
+      victim_peer = expired_peer;
+      victim_entry = expired_entry;
+      have_victim = true;
+    }
+    QSA_ASSERT(have_victim);
+    const bool victim_expired = victim_entry.expires <= now;
     if (!victim_expired &&
-        benefit_rank(victim->second.hop, victim->second.kind) <
+        benefit_rank(victim_entry.hop, victim_entry.kind) <
             benefit_rank(hop, kind)) {
       return false;  // everything in the table beats the newcomer
     }
-    entries_.erase(victim);
+    entries_.erase(victim_peer);
   }
   entries_.emplace(peer, NeighborEntry{hop, kind, expires});
   return true;
@@ -75,13 +88,13 @@ bool NeighborTable::knows(net::PeerId peer, sim::SimTime now) const {
 }
 
 void NeighborTable::purge(sim::SimTime now) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.expires <= now) {
-      it = entries_.erase(it);
-    } else {
-      ++it;
-    }
+  // Two passes: DenseMap's backward-shift erase relocates entries, so
+  // collect the expired keys first, then drop them.
+  std::vector<net::PeerId> expired;
+  for (const auto& [p, entry] : entries_) {
+    if (entry.expires <= now) expired.push_back(p);
   }
+  for (net::PeerId p : expired) entries_.erase(p);
 }
 
 void NeighborTable::erase(net::PeerId peer) { entries_.erase(peer); }

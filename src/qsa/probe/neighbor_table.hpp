@@ -9,10 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "qsa/net/peer.hpp"
 #include "qsa/sim/time.hpp"
+#include "qsa/util/dense_map.hpp"
 
 namespace qsa::probe {
 
@@ -38,6 +38,11 @@ struct NeighborEntry {
 
 class NeighborTable {
  public:
+  /// An empty table with budget 0: the state a DenseMap slot holds before a
+  /// real table is assigned in (and after one is erased). add() on such a
+  /// table asserts — per-peer tables are always created with a budget.
+  NeighborTable() = default;
+
   /// `budget` is M, the maximum number of probed neighbors.
   explicit NeighborTable(std::size_t budget);
 
@@ -60,14 +65,18 @@ class NeighborTable {
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] std::size_t budget() const noexcept { return budget_; }
 
-  [[nodiscard]] const std::unordered_map<net::PeerId, NeighborEntry>& entries()
+  /// The live entry set. A flat open-addressing map: the per-candidate
+  /// lookups selection performs on every request are a mix-mask-probe over
+  /// contiguous slots, with no per-node allocation and an iteration order
+  /// that is identical across platforms and standard libraries.
+  [[nodiscard]] const util::DenseMap<net::PeerId, NeighborEntry>& entries()
       const noexcept {
     return entries_;
   }
 
  private:
-  std::size_t budget_;
-  std::unordered_map<net::PeerId, NeighborEntry> entries_;
+  std::size_t budget_ = 0;
+  util::DenseMap<net::PeerId, NeighborEntry> entries_;
 };
 
 }  // namespace qsa::probe

@@ -20,12 +20,12 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "qsa/fault/fault.hpp"
 #include "qsa/obs/registry.hpp"
 #include "qsa/probe/neighbor_table.hpp"
+#include "qsa/util/dense_map.hpp"
 
 namespace qsa::net {
 class NetworkModel;
@@ -97,7 +97,7 @@ class NeighborResolution {
 
   std::size_t budget_;
   sim::SimTime ttl_;
-  std::unordered_map<net::PeerId, NeighborTable> tables_;
+  util::DenseMap<net::PeerId, NeighborTable> tables_;
   std::uint64_t messages_ = 0;
   const fault::FaultPlan* faults_ = nullptr;
 

@@ -83,7 +83,7 @@ void SessionManager::track_host_gain(net::PeerId host,
   const std::uint32_t active = ++service_active_[svc];
   concentration_sum_ += static_cast<double>(conc) / active;
   ++concentration_admissions_;
-  EpochLedger& led = epoch_ledger_[host];
+  detail::EpochLedger& led = epoch_ledger_[host];
   const std::int64_t epoch = peers_.clock().epoch(simulator_.now());
   if (led.epoch != epoch) {
     led.epoch = epoch;
@@ -95,7 +95,7 @@ void SessionManager::track_host_gain(net::PeerId host,
     provider_load_hist_ = &metrics_->histogram("provider.load");
   }
   provider_load_hist_->observe(static_cast<double>(load));
-  ServiceLoad& sl = service_load_[svc];
+  detail::ServiceLoad& sl = service_load_[svc];
   if (sl.max_gauge == nullptr) {
     const std::string base = "provider.load." + std::to_string(svc);
     sl.max_gauge = &metrics_->gauge(base + ".max");
@@ -111,15 +111,16 @@ void SessionManager::track_host_loss(net::PeerId host,
                                      registry::InstanceId instance) {
   auto it = hosted_load_.find(host);
   if (it == hosted_load_.end()) return;
-  if (--it->second == 0) hosted_load_.erase(it);
+  if (--it->second == 0) hosted_load_.erase(host);
   const registry::ServiceId svc = catalog_.instance(instance).service;
-  auto cit = service_host_load_.find(concentration_key(svc, host));
+  const std::uint64_t ckey = concentration_key(svc, host);
+  auto cit = service_host_load_.find(ckey);
   if (cit != service_host_load_.end() && --cit->second == 0) {
-    service_host_load_.erase(cit);
+    service_host_load_.erase(ckey);
   }
   auto sit = service_active_.find(svc);
   if (sit != service_active_.end() && --sit->second == 0) {
-    service_active_.erase(sit);
+    service_active_.erase(svc);
   }
   // A release inside the epoch that booked the reservation cancels it in
   // the ledger; releases of older sessions free capacity probes also can't

@@ -25,6 +25,7 @@
 #include "qsa/registry/catalog.hpp"
 #include "qsa/session/session.hpp"
 #include "qsa/sim/simulator.hpp"
+#include "qsa/util/dense_map.hpp"
 
 namespace qsa::session {
 
@@ -43,6 +44,25 @@ struct DemandSignal {
   net::PeerId blamed = net::kNoPeer;                     ///< kRejected only
   core::FailureCause cause = core::FailureCause::kNone;  ///< kTeardown only
 };
+
+namespace detail {
+
+/// Resources reserved on one host during probe epoch `epoch`; stale entries
+/// are implicitly zero (the boundary has passed, probes see them).
+struct EpochLedger {
+  std::int64_t epoch = -1;
+  qos::ResourceVector reserved;
+};
+
+/// Per-service concentration instruments (lazily bound gauges).
+struct ServiceLoad {
+  obs::Gauge* max_gauge = nullptr;
+  obs::Gauge* mean_gauge = nullptr;
+  double sum = 0;
+  std::uint64_t observations = 0;
+};
+
+}  // namespace detail
 
 struct SessionStats {
   std::uint64_t admitted = 0;
@@ -209,25 +229,17 @@ class SessionManager {
   std::uint32_t peak_concentration_ = 0;
   double concentration_sum_ = 0;
   std::uint64_t concentration_admissions_ = 0;
-  std::unordered_map<net::PeerId, std::uint32_t> hosted_load_;
+  // The per-admission ledgers below are touched once per hosted instance on
+  // every admit/teardown — flat open-addressing maps (util::DenseMap), not
+  // node-based unordered_maps, keep that on the simulator's zero-allocation
+  // steady-state path.
+  util::DenseMap<net::PeerId, std::uint32_t> hosted_load_;
   // Concurrent sessions per (service, host) pair, key (service << 32) | host.
-  std::unordered_map<std::uint64_t, std::uint32_t> service_host_load_;
+  util::DenseMap<std::uint64_t, std::uint32_t> service_host_load_;
   // Concurrent sessions per service (the co-location share's denominator).
-  std::unordered_map<registry::ServiceId, std::uint32_t> service_active_;
-  // Resources reserved per host during the probe epoch `epoch`; stale
-  // entries are implicitly zero (the boundary has passed, probes see them).
-  struct EpochLedger {
-    std::int64_t epoch = -1;
-    qos::ResourceVector reserved;
-  };
-  std::unordered_map<net::PeerId, EpochLedger> epoch_ledger_;
-  struct ServiceLoad {
-    obs::Gauge* max_gauge = nullptr;
-    obs::Gauge* mean_gauge = nullptr;
-    double sum = 0;
-    std::uint64_t observations = 0;
-  };
-  std::unordered_map<registry::ServiceId, ServiceLoad> service_load_;
+  util::DenseMap<registry::ServiceId, std::uint32_t> service_active_;
+  util::DenseMap<net::PeerId, detail::EpochLedger> epoch_ledger_;
+  util::DenseMap<registry::ServiceId, detail::ServiceLoad> service_load_;
 
   std::unordered_map<SessionId, Session> sessions_;
   std::unordered_map<net::PeerId, std::vector<SessionId>> by_peer_;

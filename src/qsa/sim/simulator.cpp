@@ -1,6 +1,5 @@
 #include "qsa/sim/simulator.hpp"
 
-#include <memory>
 #include <utility>
 
 namespace qsa::sim {
@@ -20,16 +19,23 @@ std::size_t Simulator::run_until(SimTime horizon) {
 }
 
 void Simulator::every(SimTime start, SimTime period,
-                      std::function<void()> action) {
-  // Self-rescheduling tick. A shared_ptr closure keeps the action alive
-  // across reschedules; periodic ticks run for the life of the simulation.
-  auto tick = std::make_shared<std::function<void()>>();
-  auto shared_action = std::make_shared<std::function<void()>>(std::move(action));
-  *tick = [this, period, tick, shared_action] {
-    (*shared_action)();
-    schedule_in(period, *tick);
-  };
-  schedule_at(start, *tick);
+                      EventQueue::Action action) {
+  // The action lives in the registry for the life of the simulation; the
+  // scheduled tick is a {this, idx} capture that fits the event slot. This
+  // is the periodic path's whole allocation story: one registry push here,
+  // nothing per tick (the shared_ptr pair the old engine allocated per
+  // registration is gone entirely).
+  const auto idx = static_cast<std::uint32_t>(periodics_.size());
+  periodics_.push_back(Periodic{period, std::move(action)});
+  schedule_at(start, [this, idx] { fire_periodic(idx); });
+}
+
+void Simulator::fire_periodic(std::uint32_t idx) {
+  periodics_[idx].action();
+  // Re-index after the action: it may itself register a periodic, which can
+  // relocate the registry. The action-then-re-arm order matches the old
+  // engine, keeping event sequence numbers (and thus replays) identical.
+  schedule_in(periodics_[idx].period, [this, idx] { fire_periodic(idx); });
 }
 
 }  // namespace qsa::sim

@@ -2,7 +2,8 @@
 // advances time event-by-event until a horizon or until drained.
 #pragma once
 
-#include <functional>
+#include <cstdint>
+#include <vector>
 
 #include "qsa/sim/event_queue.hpp"
 #include "qsa/sim/time.hpp"
@@ -16,16 +17,12 @@ class Simulator {
 
   /// Schedules `action` `delay` after now.
   EventHandle schedule_in(SimTime delay, EventQueue::Action action) {
-    EventHandle h = queue_.schedule(now_ + delay, std::move(action));
-    note_scheduled();
-    return h;
+    return queue_.schedule(now_ + delay, std::move(action));
   }
 
   /// Schedules `action` at absolute time `at` (clamped to now if earlier).
   EventHandle schedule_at(SimTime at, EventQueue::Action action) {
-    EventHandle h = queue_.schedule(at < now_ ? now_ : at, std::move(action));
-    note_scheduled();
-    return h;
+    return queue_.schedule(at < now_ ? now_ : at, std::move(action));
   }
 
   void cancel(EventHandle h) { queue_.cancel(h); }
@@ -39,8 +36,10 @@ class Simulator {
   std::size_t run() { return run_until(SimTime::infinity()); }
 
   /// Registers a periodic action firing at start, start+period, ... until
-  /// the horizon of the enclosing run. The action may observe now().
-  void every(SimTime start, SimTime period, std::function<void()> action);
+  /// the horizon of the enclosing run. The action may observe now(). The
+  /// action is stored once in a registry owned by the simulator; each tick's
+  /// event captures only {this, index}, so re-arming never allocates.
+  void every(SimTime start, SimTime period, EventQueue::Action action);
 
   [[nodiscard]] std::size_t pending_events() const noexcept {
     return queue_.size();
@@ -50,18 +49,22 @@ class Simulator {
   }
   /// High-water mark of the live event count (queue-depth observability).
   [[nodiscard]] std::size_t max_pending_events() const noexcept {
-    return max_pending_;
+    return queue_.peak_live();
   }
+  [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
 
  private:
-  void note_scheduled() noexcept {
-    if (queue_.size() > max_pending_) max_pending_ = queue_.size();
-  }
+  struct Periodic {
+    SimTime period;
+    EventQueue::Action action;
+  };
+  /// Runs periodic `idx` and re-arms its next tick.
+  void fire_periodic(std::uint32_t idx);
 
   EventQueue queue_;
+  std::vector<Periodic> periodics_;
   SimTime now_ = SimTime::zero();
   std::size_t executed_ = 0;
-  std::size_t max_pending_ = 0;
 };
 
 }  // namespace qsa::sim

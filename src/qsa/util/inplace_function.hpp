@@ -1,0 +1,118 @@
+// A move-only callable with inline storage: the capture lives inside the
+// object (no heap), so scheduling work through one is allocation-free. The
+// simulator's event queue stores millions of these per run — with
+// std::function each schedule() paid a heap round-trip; with InplaceFunction
+// the capture is placement-constructed straight into the event slot.
+//
+// Capacity is a hard compile-time bound: a capture larger than `Capacity`
+// (or over-aligned beyond max_align_t) fails to compile with a static_assert
+// rather than silently falling back to the heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace qsa::util {
+
+template <typename Signature, std::size_t Capacity = 48>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() noexcept = default;
+  InplaceFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    static_assert(sizeof(D) <= Capacity,
+                  "capture too large for InplaceFunction's inline buffer — "
+                  "grow Capacity or capture less");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "over-aligned captures are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "captures must be nothrow-movable (slots relocate on "
+                  "slab growth)");
+    ::new (static_cast<void*>(buffer_)) D(std::forward<F>(f));
+    ops_ = &kOps<D>;
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { steal(other); }
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+  ~InplaceFunction() { reset(); }
+
+  /// Destroys the held callable (if any); the function becomes empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  R operator()(Args... args) {
+    return ops_->invoke(buffer_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+  friend bool operator==(const InplaceFunction& f, std::nullptr_t) noexcept {
+    return !static_cast<bool>(f);
+  }
+  friend bool operator!=(const InplaceFunction& f, std::nullptr_t) noexcept {
+    return static_cast<bool>(f);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static R invoke_impl(void* b, Args&&... args) {
+    return (*std::launder(reinterpret_cast<D*>(b)))(
+        std::forward<Args>(args)...);
+  }
+  template <typename D>
+  static void relocate_impl(void* from, void* to) noexcept {
+    D* f = std::launder(reinterpret_cast<D*>(from));
+    ::new (to) D(std::move(*f));
+    f->~D();
+  }
+  template <typename D>
+  static void destroy_impl(void* b) noexcept {
+    std::launder(reinterpret_cast<D*>(b))->~D();
+  }
+
+  template <typename D>
+  static constexpr Ops kOps{&invoke_impl<D>, &relocate_impl<D>,
+                            &destroy_impl<D>};
+
+  void steal(InplaceFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.buffer_, buffer_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buffer_[Capacity];
+};
+
+}  // namespace qsa::util

@@ -2,10 +2,16 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "qsa/util/dense_map.hpp"
 #include "qsa/util/flags.hpp"
+#include "qsa/util/inplace_function.hpp"
 #include "qsa/util/interner.hpp"
 #include "qsa/util/rng.hpp"
 #include "qsa/util/small_vec.hpp"
@@ -455,6 +461,218 @@ TEST(ThreadPool, SizeReflectsWorkerCount) {
 TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_GE(pool.size(), 1u);
+}
+
+// ---------------------------------------------------- InplaceFunction
+
+TEST(InplaceFunction, InvokesAndReturnsValues) {
+  InplaceFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+  int hits = 0;
+  InplaceFunction<void()> bump = [&hits] { ++hits; };
+  bump();
+  bump();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunction, EmptyAndNullptrComparisons) {
+  InplaceFunction<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_TRUE(f == nullptr);
+  EXPECT_FALSE(f != nullptr);
+  f = [] {};
+  EXPECT_TRUE(static_cast<bool>(f));
+  EXPECT_TRUE(f != nullptr);
+  f.reset();
+  EXPECT_TRUE(f == nullptr);
+  InplaceFunction<void()> g = nullptr;
+  EXPECT_TRUE(g == nullptr);
+}
+
+TEST(InplaceFunction, MoveStealsAndEmptiesSource) {
+  int hits = 0;
+  InplaceFunction<void()> a = [&hits] { ++hits; };
+  InplaceFunction<void()> b = std::move(a);
+  EXPECT_TRUE(a == nullptr);  // NOLINT(bugprone-use-after-move): specified
+  b();
+  EXPECT_EQ(hits, 1);
+  InplaceFunction<void()> c;
+  c = std::move(b);
+  EXPECT_TRUE(b == nullptr);  // NOLINT(bugprone-use-after-move): specified
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunction, DestroysCaptureExactlyOnce) {
+  struct Probe {
+    int* destructions;
+    explicit Probe(int* d) noexcept : destructions(d) {}
+    Probe(Probe&& o) noexcept : destructions(o.destructions) {
+      o.destructions = nullptr;  // moved-from probes don't count
+    }
+    ~Probe() {
+      if (destructions != nullptr) ++*destructions;
+    }
+    void operator()() const {}
+  };
+  int destructions = 0;
+  {
+    InplaceFunction<void()> f = Probe(&destructions);
+    EXPECT_EQ(destructions, 0);
+    InplaceFunction<void()> g = std::move(f);  // relocation, no live destroy
+    EXPECT_EQ(destructions, 0);
+    g();
+  }
+  EXPECT_EQ(destructions, 1);
+  {
+    InplaceFunction<void()> f = Probe(&destructions);
+    f.reset();
+    EXPECT_EQ(destructions, 2);
+    f.reset();  // idempotent on empty
+    EXPECT_EQ(destructions, 2);
+  }
+  EXPECT_EQ(destructions, 2);
+}
+
+TEST(InplaceFunction, MoveAssignDestroysPreviousTarget) {
+  int first = 0, second = 0;
+  InplaceFunction<void()> f = [&first] { ++first; };
+  InplaceFunction<void()> g = [&second] { ++second; };
+  f = std::move(g);
+  f();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+// ----------------------------------------------------------- DenseMap
+
+TEST(DenseMap, BasicInsertFindErase) {
+  DenseMap<std::uint32_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.count(7), 0u);
+  m[7] = 70;
+  m[9] = 90;
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(7), 70);
+  EXPECT_EQ(m.at(9), 90);
+  EXPECT_EQ(m.find(8), m.end());
+  ASSERT_NE(m.find(7), m.end());
+  EXPECT_EQ(m.find(7)->second, 70);
+  EXPECT_EQ(m.erase(7), 1u);
+  EXPECT_EQ(m.erase(7), 0u);
+  EXPECT_EQ(m.count(7), 0u);
+  EXPECT_EQ(m.at(9), 90);  // survivor untouched by the backward shift
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(DenseMap, EmplaceReportsInsertion) {
+  DenseMap<std::uint32_t, int> m;
+  auto [it1, inserted1] = m.emplace(5, 50);
+  EXPECT_TRUE(inserted1);
+  EXPECT_EQ(it1->second, 50);
+  auto [it2, inserted2] = m.emplace(5, 999);
+  EXPECT_FALSE(inserted2);  // existing value wins
+  EXPECT_EQ(it2->second, 50);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(DenseMap, MatchesReferenceMapUnderRandomChurn) {
+  // Dense key range forces long probe chains and exercises backward-shift
+  // deletion through them; the reference map is ground truth.
+  DenseMap<std::uint32_t, std::uint64_t> m;
+  std::unordered_map<std::uint32_t, std::uint64_t> ref;
+  Rng rng(2026);
+  for (int op = 0; op < 200'000; ++op) {
+    const auto key = static_cast<std::uint32_t>(rng.index(512));
+    switch (rng.index(4)) {
+      case 0:
+      case 1: {
+        const std::uint64_t value = rng();
+        m[key] = value;
+        ref[key] = value;
+        break;
+      }
+      case 2:
+        EXPECT_EQ(m.erase(key), ref.erase(key));
+        break;
+      default:
+        EXPECT_EQ(m.count(key), ref.count(key));
+        if (ref.count(key) != 0) {
+          EXPECT_EQ(m.at(key), ref.at(key));
+        }
+        break;
+    }
+  }
+  EXPECT_EQ(m.size(), ref.size());
+  std::size_t visited = 0;
+  for (const auto& [k, v] : m) {
+    ++visited;
+    ASSERT_NE(ref.find(k), ref.end());
+    EXPECT_EQ(ref.at(k), v);
+  }
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(DenseMap, IterationOrderIsAFunctionOfHistory) {
+  // Two maps fed the identical op sequence iterate identically — the
+  // property the simulator's determinism leans on (no std::hash, no
+  // platform-dependent layout).
+  DenseMap<std::uint64_t, int> a, b;
+  Rng ra(99), rb(99);
+  const auto drive = [](DenseMap<std::uint64_t, int>& m, Rng& rng) {
+    for (int op = 0; op < 5000; ++op) {
+      const std::uint64_t key = rng.index(300);
+      if (rng.index(3) == 0) {
+        m.erase(key);
+      } else {
+        m[key] = op;
+      }
+    }
+  };
+  drive(a, ra);
+  drive(b, rb);
+  std::vector<std::pair<std::uint64_t, int>> va, vb;
+  for (const auto& e : a) va.push_back(e);
+  for (const auto& e : b) vb.push_back(e);
+  EXPECT_EQ(va, vb);
+  EXPECT_FALSE(va.empty());
+}
+
+TEST(DenseMap, ClearReleasesEntriesAndIsReusable) {
+  DenseMap<std::uint32_t, std::string> m;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    std::string value = "v";
+    value += std::to_string(i);
+    m[i] = std::move(value);
+  }
+  EXPECT_EQ(m.size(), 100u);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.begin(), m.end());
+  EXPECT_EQ(m.count(5), 0u);
+  m[5] = "again";
+  EXPECT_EQ(m.at(5), "again");
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(DenseMap, ReservePreventsRehashAndKeepsEntries) {
+  DenseMap<std::uint32_t, int> m;
+  m.reserve(1000);
+  for (std::uint32_t i = 0; i < 1000; ++i) m[i] = static_cast<int>(i);
+  for (std::uint32_t i = 0; i < 1000; ++i) EXPECT_EQ(m.at(i), static_cast<int>(i));
+  EXPECT_EQ(m.size(), 1000u);
+}
+
+TEST(DenseMap, ErasedValueIsResetImmediately) {
+  // The contract that lets values own resources: erase resets the slot to
+  // V{} rather than leaving a moved-from husk in the backing array.
+  DenseMap<std::uint32_t, std::string> m;
+  m[1] = std::string(1000, 'x');
+  m.erase(1);
+  for (const auto& slot : m) {
+    FAIL() << "erased entry still visible: " << slot.first;
+  }
+  EXPECT_TRUE(m.empty());
 }
 
 }  // namespace

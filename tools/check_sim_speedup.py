@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Gate on the event-engine speedup measured by bench/bench_sim_throughput.
+
+Reads a google-benchmark JSON report containing BM_EventQueue{Hold,
+CancelHeavy} rows for the slab/indexed-heap engine and their
+BM_EventQueueLegacy* counterparts (the pre-refactor binary-heap engine kept
+in bench/legacy_event_queue.hpp), pairs them by shape and size, and fails if
+the mean legacy-vs-new throughput ratio falls below the threshold (or if any
+pair regresses below 1.0x, i.e. the new engine is slower). BM_GridWallclock
+rows, when present, are printed as whole-simulation context but never gated
+— they measure the entire grid, not the engine.
+
+Usage:
+    bench_sim_throughput --benchmark_filter='BM_(EventQueue|GridWallclock)' \
+        --benchmark_format=json > BENCH_sim.json
+    python3 tools/check_sim_speedup.py BENCH_sim.json [--min-speedup=1.3]
+
+The threshold sits well below the speedups seen on quiet machines: CI
+runners are noisy and the gate exists to catch the engine being pessimized,
+not to certify peak numbers.
+"""
+
+import argparse
+import json
+import sys
+
+SHAPES = ("Hold", "CancelHeavy")
+
+
+def load_pairs(report):
+    """Returns (pairs, wallclock, problems): one (label, legacy_ns, new_ns)
+    triple per shape/size present on both sides, the BM_GridWallclock rows
+    for context, and a list of everything that kept a row out of a pair."""
+    new, legacy = {}, {}
+    wallclock = []
+    problems = []
+    for row in report.get("benchmarks", []):
+        name = row.get("name", "")
+        if row.get("run_type") == "aggregate":
+            continue
+        if name.startswith("BM_GridWallclock/"):
+            wallclock.append(row)
+            continue
+        for shape in SHAPES:
+            legacy_prefix = f"BM_EventQueueLegacy{shape}/"
+            new_prefix = f"BM_EventQueue{shape}/"
+            if name.startswith(legacy_prefix):
+                side, key = legacy, f"{shape}/{name[len(legacy_prefix):]}"
+            elif name.startswith(new_prefix):
+                side, key = new, f"{shape}/{name[len(new_prefix):]}"
+            else:
+                continue
+            if "real_time" not in row:
+                problems.append(f"row '{name}' has no real_time field")
+            else:
+                side[key] = row["real_time"]
+            break
+    for key in sorted(new.keys() | legacy.keys()):
+        if key not in legacy:
+            problems.append(f"'{key}' has no BM_EventQueueLegacy* counterpart")
+        elif key not in new:
+            problems.append(f"'{key}' has no BM_EventQueue* counterpart")
+    pairs = [(k, legacy[k], new[k]) for k in new if k in legacy]
+    return pairs, wallclock, problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="google-benchmark JSON report")
+    parser.add_argument("--min-speedup", type=float, default=1.3,
+                        help="minimum mean legacy/new ratio (default 1.3)")
+    opts = parser.parse_args()
+
+    with open(opts.report, encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    pairs, wallclock, problems = load_pairs(report)
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if problems:
+        print("error: the report is missing BM_EventQueue* rows — was "
+              "bench_sim_throughput run with "
+              "--benchmark_filter='BM_(EventQueue|GridWallclock)'?",
+              file=sys.stderr)
+        return 2
+    if not pairs:
+        print("error: no BM_EventQueue*/BM_EventQueueLegacy* pairs in report",
+              file=sys.stderr)
+        return 2
+
+    print(f"{'shape/size':>20} {'legacy ns':>12} {'new ns':>12} {'speedup':>9}")
+    speedups = []
+    slower = []
+    for key, legacy_ns, new_ns in sorted(pairs):
+        ratio = legacy_ns / new_ns
+        speedups.append(ratio)
+        if ratio < 1.0:
+            slower.append(key)
+        print(f"{key:>20} {legacy_ns:>12.0f} {new_ns:>12.0f} {ratio:>8.2f}x")
+
+    mean = sum(speedups) / len(speedups)
+    print(f"mean speedup over {len(speedups)} cells: {mean:.2f}x "
+          f"(threshold {opts.min_speedup:.2f}x)")
+
+    for row in wallclock:
+        # google-benchmark emits user counters under "counters" in newer
+        # releases and as top-level row keys in older ones.
+        eps = (row.get("counters", {}).get("events_per_sec")
+               or row.get("events_per_sec"))
+        eps_str = f", {eps:,.0f} events/sec" if eps else ""
+        print(f"context: {row['name']} = {row.get('real_time', 0):,.1f} "
+              f"{row.get('time_unit', 'ns')}{eps_str}")
+
+    if slower:
+        print(f"FAIL: new engine slower than legacy at {', '.join(slower)}",
+              file=sys.stderr)
+        return 1
+    if mean < opts.min_speedup:
+        print(f"FAIL: mean speedup {mean:.2f}x < {opts.min_speedup:.2f}x",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
