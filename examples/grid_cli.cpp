@@ -8,10 +8,12 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "qsa/harness/grid.hpp"
 #include "qsa/metrics/table.hpp"
 #include "qsa/obs/export.hpp"
+#include "qsa/obs/sink.hpp"
 #include "qsa/util/flags.hpp"
 
 using namespace qsa;
@@ -53,7 +55,23 @@ void print_usage() {
       "                     (summary on stderr; with --metrics-out, also\n"
       "                     perf.* gauges — host timings, non-deterministic)\n"
       "  --csv              also emit the psi time series as CSV\n"
-      "  --trace-out=FILE   write the per-request trace as JSON lines\n"
+      "  --trace-out=FILE   stream the per-request trace as JSON lines\n"
+      "                     (written incrementally as requests finish)\n"
+      "  --trace-sample=K   keep 1-in-K request traces, chosen head-based\n"
+      "                     from (seed, request id) — deterministic at any\n"
+      "                     thread count; failure counters stay exact\n"
+      "                     (default 1 = keep all)\n"
+      "  --flight-recorder=K  retain the full span chains of the last K\n"
+      "                     failed/recovered requests per failure cause,\n"
+      "                     regardless of sampling (default 0 = off)\n"
+      "  --flight-out=FILE  write the flight recorder's chains as JSON\n"
+      "                     lines (implies --flight-recorder=8 if unset)\n"
+      "  --obs-window-ms=M  sample live time-series (windowed psi, queue\n"
+      "                     depth, cache hit rates, replica counts) every\n"
+      "                     M sim-milliseconds (default 0 = off)\n"
+      "  --series-out=FILE  write the live time-series as CSV rows\n"
+      "                     `series,time_ms,value` (implies a 2-minute\n"
+      "                     --obs-window-ms if unset)\n"
       "  --metrics-out=FILE write the metrics snapshot (CSV if FILE ends\n"
       "                     in .csv, JSON otherwise)\n");
 }
@@ -96,7 +114,19 @@ int main(int argc, char** argv) {
   cfg.profile = flags.get_bool("profile", false);
   const std::string trace_out = flags.get("trace-out", "");
   const std::string metrics_out = flags.get("metrics-out", "");
-  cfg.observe = !trace_out.empty() || !metrics_out.empty();
+  const std::string flight_out = flags.get("flight-out", "");
+  const std::string series_out = flags.get("series-out", "");
+  cfg.trace_sample =
+      static_cast<std::uint32_t>(flags.get_int("trace-sample", 1));
+  cfg.flight_recorder = static_cast<std::uint32_t>(flags.get_int(
+      "flight-recorder", flight_out.empty() ? 0 : 8));
+  cfg.obs_window = sim::SimTime::millis(flags.get_int(
+      "obs-window-ms",
+      series_out.empty() ? 0 : sim::SimTime::minutes(2).as_millis()));
+  cfg.observe = !trace_out.empty() || !metrics_out.empty() ||
+                !flight_out.empty() || !series_out.empty() ||
+                cfg.trace_sample > 1 || cfg.flight_recorder > 0 ||
+                cfg.obs_window.as_millis() > 0;
 
   const std::string algo = flags.get("algorithm", "qsa");
   if (algo == "qsa") {
@@ -138,6 +168,32 @@ int main(int argc, char** argv) {
               cfg.horizon.as_minutes());
 
   harness::GridSimulation grid(cfg);
+
+  // The trace streams out while the simulation runs (completed requests
+  // flush incrementally), so the sink must exist before run().
+  std::ofstream trace_os;
+  std::unique_ptr<obs::JsonlSpanSink> trace_sink;
+  if (!trace_out.empty()) {
+    trace_os.open(trace_out);
+    if (!trace_os) {
+      std::printf("cannot open --trace-out file '%s'\n", trace_out.c_str());
+      return 1;
+    }
+    trace_sink = std::make_unique<obs::JsonlSpanSink>(trace_os);
+    grid.set_span_sink(trace_sink.get());
+  }
+  std::ofstream series_os;
+  std::unique_ptr<obs::CsvMetricSink> series_sink;
+  if (!series_out.empty()) {
+    series_os.open(series_out);
+    if (!series_os) {
+      std::printf("cannot open --series-out file '%s'\n", series_out.c_str());
+      return 1;
+    }
+    series_sink = std::make_unique<obs::CsvMetricSink>(series_os);
+    grid.set_series_sink(series_sink.get());
+  }
+
   const auto r = grid.run();
 
   std::printf("requests                 %llu\n",
@@ -168,14 +224,26 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(value));
   }
 
-  if (!trace_out.empty()) {
-    std::ofstream os(trace_out);
+  if (trace_sink != nullptr) {
+    trace_sink->flush();
+    std::printf("trace   -> %s (%llu spans)\n", trace_out.c_str(),
+                static_cast<unsigned long long>(trace_sink->spans_written()));
+  }
+  if (series_sink != nullptr) {
+    series_sink->flush();
+    std::printf("series  -> %s\n", series_out.c_str());
+  }
+  if (!flight_out.empty()) {
+    std::ofstream os(flight_out);
     if (!os) {
-      std::printf("cannot open --trace-out file '%s'\n", trace_out.c_str());
+      std::printf("cannot open --flight-out file '%s'\n", flight_out.c_str());
       return 1;
     }
-    obs::write_trace_jsonl(*grid.tracer(), os);
-    std::printf("trace   -> %s\n", trace_out.c_str());
+    // The recorder is bounded (K chains per cause), so this is the one
+    // artifact small enough to render whole at end of run.
+    const std::string jsonl = grid.flight()->jsonl();
+    os.write(jsonl.data(), static_cast<std::streamsize>(jsonl.size()));
+    std::printf("flight  -> %s\n", flight_out.c_str());
   }
   if (!metrics_out.empty()) {
     std::ofstream os(metrics_out);

@@ -119,6 +119,26 @@ struct GridConfig {
   /// run allocates nothing for observability.
   bool observe = false;
 
+  /// Head-based trace sampling: keep 1-in-K finished request traces on the
+  /// span sink, decided per request via derive_seed(seed,"obs",request_id)
+  /// so the kept set is bit-identical across runs and ExperimentRunner
+  /// thread counts. 0 or 1 (the default) keeps every trace. Aggregate
+  /// accounting (GridResult failure counters, tracer phase/status counts)
+  /// stays exact at any rate.
+  std::uint32_t trace_sample = 1;
+
+  /// Failure flight recorder: retain the complete span chains of the last K
+  /// failed/recovered requests per failure cause, regardless of sampling.
+  /// 0 (the default) disables the recorder.
+  std::uint32_t flight_recorder = 0;
+
+  /// Live time-series window: when `observe` is set and this is non-zero,
+  /// sample windowed psi, event-queue depth, cache hit rates, replica and
+  /// session counts (plus perf timers under `profile`) every window through
+  /// obs::LiveSeries. Zero (the default) schedules no sampling event and
+  /// keeps the run byte-identical to a build without the recorder.
+  sim::SimTime obs_window = sim::SimTime::zero();
+
   /// Wall-clock phase profiling: times bootstrap and the event loop with the
   /// host's monotonic clock and — when `observe` provides a registry —
   /// exports `perf.wall_ms.{bootstrap,run}`, `perf.events_per_sec` and the

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "qsa/obs/export.hpp"
+#include "qsa/obs/sink.hpp"
 #include "qsa/util/thread_pool.hpp"
 
 namespace qsa::harness {
@@ -16,10 +17,20 @@ std::vector<ExperimentResult> ExperimentRunner::run(
     // index so output order never depends on scheduling.
     GridSimulation grid(cells[i].config);
     results[i].label = cells[i].label;
+    // Sinks attach before run(): completed requests stream out as they
+    // finish, so the grid never re-buffers a whole run's spans.
+    obs::StringSpanSink trace_sink;
+    grid.set_span_sink(&trace_sink);
     results[i].result = grid.run();
     if (cells[i].config.observe) {
       results[i].metrics_json = obs::metrics_json(*grid.metrics());
-      results[i].trace_jsonl = obs::trace_jsonl(*grid.tracer());
+      results[i].trace_jsonl = trace_sink.str();
+      if (grid.live_series() != nullptr) {
+        results[i].series_csv = grid.live_series()->csv();
+      }
+      if (grid.flight() != nullptr) {
+        results[i].flight_jsonl = grid.flight()->jsonl();
+      }
     }
   });
   return results;

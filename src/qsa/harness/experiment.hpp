@@ -22,11 +22,17 @@ struct ExperimentResult {
   std::string label;
   GridResult result;
   /// Deterministic observability sidecars, filled iff the cell's config set
-  /// `observe`: the metrics registry as sorted-key JSON and the request
-  /// trace as JSON lines. Byte-identical across runner thread counts (every
-  /// simulation is self-seeded, single-threaded, and sim-time-stamped).
+  /// `observe`: the metrics registry as sorted-key JSON, the (sampled)
+  /// request trace as JSON lines streamed through a StringSpanSink, the
+  /// live time-series as CSV (when `obs_window` is set) and the flight
+  /// recorder's retained chains as JSON lines (when `flight_recorder` is
+  /// set). Byte-identical across runner thread counts (every simulation is
+  /// self-seeded, single-threaded, and sim-time-stamped; sampling is a pure
+  /// function of seed and request id).
   std::string metrics_json;
   std::string trace_jsonl;
+  std::string series_csv;
+  std::string flight_jsonl;
 };
 
 class ExperimentRunner {

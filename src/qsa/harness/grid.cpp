@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "qsa/obs/sink.hpp"
 #include "qsa/overlay/can_overlay.hpp"
 #include "qsa/overlay/chord_ring.hpp"
 #include "qsa/overlay/pastry_overlay.hpp"
@@ -69,8 +70,18 @@ GridSimulation::GridSimulation(GridConfig config)
   }
 
   if (config_.observe) {
-    tracer_ = std::make_unique<obs::Tracer>();
+    obs::TraceConfig tc;
+    tc.seed = config_.seed;
+    tc.sample_every = config_.trace_sample;
+    tc.flight_capacity = config_.flight_recorder;
+    tracer_ = std::make_unique<obs::Tracer>(tc);
     metrics_ = std::make_unique<obs::MetricsRegistry>();
+    // The live recorder exists only when a window is configured: without
+    // one, no sampling event is scheduled and no series name is recorded,
+    // keeping knobs-off runs byte-identical.
+    if (config_.obs_window.as_millis() > 0) {
+      series_ = std::make_unique<obs::LiveSeries>();
+    }
     directory_->set_metrics(metrics_.get());
     neighbors_->set_metrics(metrics_.get(), network_.get());
     manager_->set_observability(tracer_.get(), metrics_.get());
@@ -169,14 +180,24 @@ GridSimulation::GridSimulation(GridConfig config)
         // tests) bypass request accounting and have no arrival window.
         if (it == pending_window_.end()) return;
         const std::size_t window = it->second.window;
+        const std::uint64_t trace = it->second.trace;
         pending_window_.erase(it);
-        if (cause == core::FailureCause::kNone) {
+        const bool success = cause == core::FailureCause::kNone;
+        if (success) {
           record_outcome(window, true);
         } else {
           QSA_ASSERT(cause == core::FailureCause::kDeparture);
           ++result_.failures_departure;
           record_outcome(window, false);
         }
+        if (series_ != nullptr) {
+          ++obs_window_attempts_;
+          if (success) ++obs_window_successes_;
+        }
+        // The request is over: its running/teardown spans are closed (the
+        // manager emits them before this callback), so route the chain and
+        // recycle its nodes.
+        if (tracer_ != nullptr && trace != 0) tracer_->finish(trace);
       });
 
   if (config_.profile) {
@@ -301,7 +322,16 @@ void GridSimulation::handle_request(const core::ServiceRequest& request) {
   if (tracer_ != nullptr) attempt.trace_id = rid;
   core::FailureCause cause = core::FailureCause::kNone;
   for (int tries = 0; tries <= config_.admission_retries; ++tries) {
-    core::AggregationPlan plan = algorithm_->aggregate(attempt, now);
+    core::AggregationPlan plan;
+    if (config_.profile) {
+      const auto t0 = std::chrono::steady_clock::now();
+      plan = algorithm_->aggregate(attempt, now);
+      profile_.aggregate_ms += std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+    } else {
+      plan = algorithm_->aggregate(attempt, now);
+    }
     result_.lookup_hops += static_cast<std::uint64_t>(plan.lookup_hops);
     result_.setup_latency_ms +=
         static_cast<std::uint64_t>(plan.setup_latency.as_millis());
@@ -340,7 +370,15 @@ void GridSimulation::handle_request(const core::ServiceRequest& request) {
     }
 
     net::PeerId blamed = net::kNoPeer;
-    cause = manager_->start_session(attempt, plan, &blamed);
+    if (config_.profile) {
+      const auto t0 = std::chrono::steady_clock::now();
+      cause = manager_->start_session(attempt, plan, &blamed);
+      profile_.admission_ms += std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+    } else {
+      cause = manager_->start_session(attempt, plan, &blamed);
+    }
     const bool will_retry = cause == core::FailureCause::kAdmission &&
                             blamed != net::kNoPeer &&
                             tries < config_.admission_retries;
@@ -390,6 +428,13 @@ void GridSimulation::handle_request(const core::ServiceRequest& request) {
       name += core::to_string(cause);
       metrics_->add(name);
     }
+  }
+  // Setup failures are terminal here and now: route the chain out of the
+  // tracer and recycle its nodes. Admitted requests finish at their
+  // session's outcome callback (or the horizon sweep).
+  if (cause != core::FailureCause::kNone) {
+    if (series_ != nullptr) ++obs_window_attempts_;
+    if (tracer_ != nullptr) tracer_->finish(rid);
   }
 }
 
@@ -467,6 +512,64 @@ GridResult GridSimulation::run() {
                      [this] { replica_->sweep(simulator_.now()); });
   }
 
+  // Live time-series: register probes (polled in this order every window)
+  // and the sampling event. Gated on the recorder so that without
+  // --obs-window-ms no event is scheduled and no series name exists.
+  if (series_ != nullptr) {
+    series_->track("sim.queue_depth", [this] {
+      return static_cast<double>(simulator_.pending_events());
+    });
+    series_->track("session.active", [this] {
+      return static_cast<double>(manager_->active_sessions());
+    });
+    if (config_.discovery_cache_ttl.as_millis() > 0) {
+      series_->track("cache.discovery.hit_rate", [this] {
+        const double h =
+            static_cast<double>(metrics_->counter("cache.discovery.hits").value);
+        const double m = static_cast<double>(
+            metrics_->counter("cache.discovery.misses").value);
+        return h + m > 0 ? h / (h + m) : 0.0;
+      });
+    }
+    if (compose_cache_ != nullptr) {
+      series_->track("cache.compat.hit_rate", [this] {
+        const double h =
+            static_cast<double>(metrics_->counter("cache.compat.hits").value);
+        const double m =
+            static_cast<double>(metrics_->counter("cache.compat.misses").value);
+        return h + m > 0 ? h / (h + m) : 0.0;
+      });
+    }
+    if (replica_ != nullptr) {
+      series_->track("replica.active", [this] {
+        return static_cast<double>(replica_->active());
+      });
+    }
+    series_->track("obs.live_spans", [this] {
+      return static_cast<double>(tracer_->live_spans());
+    });
+    if (config_.profile) {
+      // Cumulative host wall-clock per phase — non-deterministic values,
+      // gated behind --profile like the perf.* gauges.
+      series_->track("perf.aggregate_ms",
+                     [this] { return profile_.aggregate_ms; });
+      series_->track("perf.admission_ms",
+                     [this] { return profile_.admission_ms; });
+    }
+    simulator_.every(config_.obs_window, config_.obs_window, [this] {
+      const sim::SimTime now = simulator_.now();
+      // Windowed psi first (requests resolved since the last window), then
+      // the instantaneous probes in registration order.
+      if (obs_window_attempts_ > 0) {
+        series_->push("psi.window", now,
+                      static_cast<double>(obs_window_successes_) /
+                          static_cast<double>(obs_window_attempts_));
+        obs_window_attempts_ = obs_window_successes_ = 0;
+      }
+      series_->sample(now);
+    });
+  }
+
   // Workload.
   workload::RequestParams rp = config_.requests;
   rp.seed = util::derive_seed(config_.seed, "requests-root", 0);
@@ -496,7 +599,9 @@ GridResult GridSimulation::run() {
     simulator_.run_until(horizon);
   }
 
-  // Sessions still healthy at the horizon count as successes.
+  // Sessions still healthy at the horizon count as successes. end_open is
+  // per-request state, so the unordered sweep is safe; the emission order
+  // is fixed afterwards by finish_all()'s ascending request-id drain.
   for (const auto& [id, pending] : pending_window_) {
     record_outcome(pending.window, true);
     if (tracer_ != nullptr && pending.trace != 0) {
@@ -506,6 +611,10 @@ GridResult GridSimulation::run() {
     }
   }
   pending_window_.clear();
+  if (tracer_ != nullptr) {
+    tracer_->finish_all();
+    if (tracer_->sink() != nullptr) tracer_->sink()->flush();
+  }
 
   // Emit the arrival-bucketed psi series.
   for (std::size_t w = 0; w < windows_.size(); ++w) {
@@ -585,6 +694,13 @@ GridResult GridSimulation::run() {
     metrics_->add("session.aborted", manager_->stats().aborted);
     metrics_->add("session.recovered", manager_->stats().recovered);
     metrics_->add("session.rejected", manager_->stats().rejected);
+    // The bounded-memory witness: resident span count never exceeds the
+    // number of in-flight requests, whatever the total request volume.
+    metrics_->set("obs.spans_live_high_water",
+                  static_cast<double>(tracer_->peak_live_spans()));
+    metrics_->add("obs.spans_emitted", tracer_->emitted_spans());
+    metrics_->add("obs.requests_finished", tracer_->finished_requests());
+    metrics_->add("obs.requests_sampled", tracer_->sampled_requests());
   }
 
   // Profiling export, gated on its own flag: the values are host wall-clock,
@@ -600,6 +716,8 @@ GridResult GridSimulation::run() {
     if (metrics_ != nullptr) {
       metrics_->set("perf.wall_ms.bootstrap", profile_.bootstrap_ms);
       metrics_->set("perf.wall_ms.run", profile_.run_ms);
+      metrics_->set("perf.wall_ms.aggregate", profile_.aggregate_ms);
+      metrics_->set("perf.wall_ms.admission", profile_.admission_ms);
       metrics_->set("perf.events_per_sec", profile_.events_per_sec);
       metrics_->set("sim.queue_peak",
                     static_cast<double>(profile_.queue_peak));

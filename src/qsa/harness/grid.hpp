@@ -19,6 +19,7 @@
 #include "qsa/net/network.hpp"
 #include "qsa/net/peer.hpp"
 #include "qsa/obs/registry.hpp"
+#include "qsa/obs/series.hpp"
 #include "qsa/obs/trace.hpp"
 #include "qsa/overlay/lookup.hpp"
 #include "qsa/probe/resolution.hpp"
@@ -76,6 +77,8 @@ struct GridResult {
 struct ProfileReport {
   double bootstrap_ms = 0;    ///< construction + population bootstrap
   double run_ms = 0;          ///< the discrete-event loop
+  double aggregate_ms = 0;    ///< summed wall time inside aggregate()
+  double admission_ms = 0;    ///< summed wall time inside start_session()
   std::uint64_t events = 0;   ///< events executed by the loop
   double events_per_sec = 0;  ///< events / run wall-clock
   std::size_t queue_peak = 0; ///< live-event high-water mark
@@ -145,10 +148,35 @@ class GridSimulation {
     return profile_;
   }
 
-  /// The trace/metrics sinks; non-null iff `config.observe` is set.
+  /// The trace/metrics instruments; non-null iff `config.observe` is set.
   [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_.get(); }
   [[nodiscard]] obs::MetricsRegistry* metrics() noexcept {
     return metrics_.get();
+  }
+
+  /// The failure flight recorder; non-null iff `config.flight_recorder > 0`
+  /// (and observing).
+  [[nodiscard]] obs::FlightRecorder* flight() noexcept {
+    return tracer_ != nullptr ? tracer_->flight() : nullptr;
+  }
+
+  /// The live time-series recorder; non-null iff `config.obs_window` is
+  /// non-zero (and observing).
+  [[nodiscard]] obs::LiveSeries* live_series() noexcept {
+    return series_.get();
+  }
+
+  /// Attaches the streaming span destination (not owned). Must be wired
+  /// before run() — completed requests flush incrementally, so spans routed
+  /// while no sink is attached are gone. No-op when not observing.
+  void set_span_sink(obs::SpanSink* sink) noexcept {
+    if (tracer_ != nullptr) tracer_->set_sink(sink);
+  }
+
+  /// Attaches the streaming time-series destination (not owned); same
+  /// wiring rule as set_span_sink(). No-op without a live recorder.
+  void set_series_sink(obs::MetricSink* sink) noexcept {
+    if (series_ != nullptr) series_->set_sink(sink);
   }
 
   /// Departs a peer through the full churn path (sessions, placement, ring,
@@ -218,10 +246,14 @@ class GridSimulation {
   // histogram handles are resolved once at construction.
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::LiveSeries> series_;
   obs::Histogram* lookup_hops_hist_ = nullptr;
   obs::Histogram* setup_latency_hist_ = nullptr;
   obs::Histogram* composition_cost_hist_ = nullptr;
   obs::Histogram* path_length_hist_ = nullptr;
+  // Windowed psi accounting for the live series (reset every obs window).
+  std::uint64_t obs_window_attempts_ = 0;
+  std::uint64_t obs_window_successes_ = 0;
 };
 
 }  // namespace qsa::harness

@@ -29,34 +29,6 @@ void append_i64(std::string& out, std::int64_t v) {
   out.append(buf, res.ptr);
 }
 
-// Metric/cause names are identifier-like; escape the JSON specials anyway
-// so the emitter is safe for any input.
-void append_json_string(std::string& out, std::string_view s) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        out += c;
-    }
-  }
-  out += '"';
-}
-
 void append_histogram_json(std::string& out, const Histogram& h) {
   out += "{\"buckets\":[";
   bool first = true;
@@ -91,8 +63,49 @@ void append_histogram_json(std::string& out, const Histogram& h) {
 
 }  // namespace
 
-std::string to_json(const Span& span) {
-  std::string out;
+// Metric/cause names are identifier-like; escape everything JSON requires
+// anyway — quotes, backslashes and all control characters — so the emitter
+// is safe for any input and the output always parses.
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_span_json(std::string& out, const Span& span) {
   out += '{';
   if (!span.attrs.empty()) {
     // Keys in sorted order, like every other object in the export.
@@ -134,19 +147,11 @@ std::string to_json(const Span& span) {
   out += ",\"status\":";
   append_json_string(out, to_string(span.status));
   out += '}';
-  return out;
 }
 
-void write_trace_jsonl(const Tracer& tracer, std::ostream& os) {
-  for (const Span& s : tracer.spans()) os << to_json(s) << '\n';
-}
-
-std::string trace_jsonl(const Tracer& tracer) {
+std::string to_json(const Span& span) {
   std::string out;
-  for (const Span& s : tracer.spans()) {
-    out += to_json(s);
-    out += '\n';
-  }
+  append_span_json(out, span);
   return out;
 }
 

@@ -8,25 +8,31 @@
 // identical bytes.
 //
 // Formats:
-//   - trace:   JSON lines, one span per line, in span-creation order.
+//   - trace:   JSON lines, one span per line, produced by the streaming
+//              span sinks (see sink.hpp); span rendering lives here.
 //   - metrics: one JSON object {"counters":{},"gauges":{},"histograms":{}},
 //              or flat CSV rows `kind,name,field,value`.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "qsa/obs/registry.hpp"
-#include "qsa/obs/trace.hpp"
+#include "qsa/obs/trace_span.hpp"
 
 namespace qsa::obs {
 
+/// Appends `s` as a JSON string literal, escaping quotes, backslashes and
+/// every control character below 0x20 (named escapes where JSON has them,
+/// \u00XX otherwise).
+void append_json_string(std::string& out, std::string_view s);
+
+/// Appends one span as a single JSON object (no newline).
+void append_span_json(std::string& out, const Span& span);
+
 /// One span as a single JSON line (no trailing newline).
 [[nodiscard]] std::string to_json(const Span& span);
-
-/// All spans, one JSON object per line (JSONL).
-void write_trace_jsonl(const Tracer& tracer, std::ostream& os);
-[[nodiscard]] std::string trace_jsonl(const Tracer& tracer);
 
 /// The registry as one sorted-key JSON document (trailing newline).
 void write_metrics_json(const MetricsRegistry& registry, std::ostream& os);

@@ -40,9 +40,10 @@ struct Session {
   sim::EventHandle end_event;
 
   /// Observability: the originating request's trace id (0 = untraced) and
-  /// the open `running` span the manager keeps for it.
+  /// the open `running` span the manager keeps for it (a generation-tagged
+  /// obs::Tracer::SpanId).
   std::uint64_t trace_id = 0;
-  std::uint32_t trace_span = 0;
+  std::uint64_t trace_span = 0;
 };
 
 }  // namespace qsa::session

@@ -1,17 +1,29 @@
-// Byte-identity harness for the event-engine/perf refactor: whole-grid runs
-// digested against golden values captured from the pre-refactor engine
-// (binary-heap EventQueue, std::function actions, unordered_map session
-// ledgers). The slab/indexed-heap engine, InplaceFunction actions and
-// DenseMap ledgers are pure mechanics — every scalar, counter, series
-// sample, trace line and metrics row must survive bit-for-bit.
+// Byte-identity harness for whole-grid runs, digested against golden values
+// so that pure-mechanics refactors (event engine, observability pipeline)
+// cannot silently change observable behaviour.
 //
-// The digest covers the full observable surface: GridResult scalars
-// (doubles bit_cast so NaN/sign/ULP changes are caught), the name-sorted
-// counter table, the psi time series, and FNV-1a hashes of the exported
-// trace JSONL and metrics CSV. Cells mirror cache_test's transparency
-// matrix: every algorithm x two seeds on the base workload, plus one
-// stressed cell with recovery + retries + faults + replication + the
-// discovery cache all on.
+// The digest is split in two since the streaming-observability rework:
+//
+//  * The SIM digest covers the simulation's own surface — GridResult
+//    scalars (doubles bit_cast so NaN/sign/ULP changes are caught), the
+//    name-sorted counter table and the psi time series. Its goldens were
+//    captured from the pre-streaming tracer and are pinned hard: the obs
+//    rework must not perturb the simulation by a single bit, sampled or
+//    not, observing or not.
+//
+//  * The OBS digest covers the exported observability artifacts — FNV-1a
+//    of the streamed trace JSONL and the metrics CSV. PR 6 intentionally
+//    rebaselined this surface (spans now stream per finished request
+//    instead of in global begin order, and obs.* meta-instruments were
+//    added), so these goldens date from the streaming pipeline; they pin
+//    its determinism going forward.
+//
+// Cells mirror cache_test's transparency matrix: every algorithm x two
+// seeds on the base workload, plus one stressed cell with recovery +
+// retries + faults + replication + the discovery cache all on, plus a
+// sampled variant of the stressed cell (1-in-4 sampling + flight recorder;
+// no obs window, since the window timer schedules real simulator events)
+// whose SIM digest must stay equal to the unsampled one.
 #include <gtest/gtest.h>
 
 #include <bit>
@@ -21,6 +33,7 @@
 
 #include "qsa/harness/grid.hpp"
 #include "qsa/obs/export.hpp"
+#include "qsa/obs/sink.hpp"
 
 namespace qsa::harness {
 namespace {
@@ -62,10 +75,14 @@ GridConfig stress_config(std::uint64_t seed) {
   return c;
 }
 
-std::string digest_string(const GridConfig& cfg) {
-  GridSimulation grid(cfg);
-  const GridResult r = grid.run();
-  std::ostringstream os;
+GridConfig sampled_stress_config(std::uint64_t seed) {
+  auto c = stress_config(seed);
+  c.trace_sample = 4;
+  c.flight_recorder = 4;
+  return c;
+}
+
+void append_sim_digest(std::ostringstream& os, const GridResult& r) {
   os << "req=" << r.requests << ";ok=" << r.successes
      << ";fd=" << r.failures_discovery << ";fc=" << r.failures_composition
      << ";fs=" << r.failures_selection << ";fa=" << r.failures_admission
@@ -83,36 +100,102 @@ std::string digest_string(const GridConfig& cfg) {
     os << "s:" << s.time.as_millis() << '='
        << std::bit_cast<std::uint64_t>(s.value) << '\n';
   }
-  os << "trace:" << fnv1a(obs::trace_jsonl(*grid.tracer())) << '\n';
-  os << "metrics:" << fnv1a(obs::metrics_csv(*grid.metrics())) << '\n';
-  return os.str();
 }
 
-// Golden digests captured from the pre-refactor engine (tools kept outside
-// the tree; regenerate by printing fnv1a(digest_string(cell)) per cell). A
-// mismatch means the engine changed observable behaviour — that is a bug in
-// the refactor, not a "rebaseline and move on" situation.
+struct RunDigests {
+  std::uint64_t sim = 0;
+  std::uint64_t obs = 0;
+};
+
+RunDigests run_digests(const GridConfig& cfg) {
+  GridSimulation grid(cfg);
+  obs::StringSpanSink trace;
+  grid.set_span_sink(&trace);
+  const GridResult r = grid.run();
+
+  std::ostringstream sim;
+  append_sim_digest(sim, r);
+
+  RunDigests out;
+  out.sim = fnv1a(sim.str());
+  if (cfg.observe) {
+    std::ostringstream obs_os;
+    obs_os << "trace:" << fnv1a(trace.str()) << '\n';
+    obs_os << "metrics:" << fnv1a(obs::metrics_csv(*grid.metrics())) << '\n';
+    if (grid.flight() != nullptr) {
+      obs_os << "flight:" << fnv1a(grid.flight()->jsonl()) << '\n';
+    }
+    if (grid.live_series() != nullptr) {
+      obs_os << "series:" << fnv1a(grid.live_series()->csv()) << '\n';
+    }
+    out.obs = fnv1a(obs_os.str());
+  }
+  return out;
+}
+
 struct GoldenCell {
   const char* label;
   std::uint64_t digest;
 };
 
-constexpr GoldenCell kGolden[] = {
-    {"qsa/11", 0xe078e6cdf281f8b2ULL},
-    {"qsa/23", 0x08fe39c1a3f00ea6ULL},
-    {"random/11", 0x1cfaebf95ccde59bULL},
-    {"random/23", 0x5abf810c039deea8ULL},
-    {"fixed/11", 0x4864550e295b0df3ULL},
-    {"fixed/23", 0x4d607d92c3f2e141ULL},
-    {"stress/7", 0x1ff9f9939bbbbd07ULL},
+// SIM goldens: captured from the pre-streaming-observability tracer (PR 5's
+// engine). A mismatch means the simulation's own behaviour changed — that
+// is a bug, not a "rebaseline and move on" situation. The obs-off cells pin
+// the other half of the invariant: observing never perturbs the run.
+constexpr GoldenCell kGoldenSim[] = {
+    {"qsa/11", 0xb1cfc881cd6dbb8cULL},
+    {"qsa/23", 0x040b85f9ae775313ULL},
+    {"random/11", 0x0e75f2ceeeb72ca9ULL},
+    {"random/23", 0xec18e30c8a0b05f4ULL},
+    {"fixed/11", 0x8dbc0a30cab470b3ULL},
+    {"fixed/23", 0x7ea417e558683be1ULL},
+    {"stress/7", 0x2dc07af8d10a2bb7ULL},
+    {"qsa/11/obs-off", 0xb1cfc881cd6dbb8cULL},
+    {"qsa/23/obs-off", 0x040b85f9ae775313ULL},
+    {"stress/7/obs-off", 0x2dc07af8d10a2bb7ULL},
+    // Sampling and the flight recorder schedule no events and draw no RNG,
+    // so the sampled cell's sim digest equals the unsampled one.
+    {"stress-sampled/7", 0x2dc07af8d10a2bb7ULL},
 };
 
-std::uint64_t golden(const std::string& label) {
-  for (const auto& cell : kGolden) {
+// OBS goldens: captured from the streaming pipeline this test ships with
+// (see header comment for why they were rebaselined in PR 6). From here on
+// they are as hard as the sim goldens.
+constexpr GoldenCell kGoldenObs[] = {
+    {"qsa/11", 0x4ea5ec02be758814ULL},
+    {"qsa/23", 0xe2c099f0ec1e46e6ULL},
+    {"random/11", 0x615b9387e9fa661eULL},
+    {"random/23", 0xf3708106722503a6ULL},
+    {"fixed/11", 0x27b4c0be2bf2089dULL},
+    {"fixed/23", 0x18b90d2e878092cbULL},
+    {"stress/7", 0x6f0b53c6459828f5ULL},
+    {"stress-sampled/7", 0x54a8a8132f8af8edULL},
+};
+
+std::uint64_t golden(const GoldenCell (&table)[11], const std::string& label) {
+  for (const auto& cell : table) {
     if (label == cell.label) return cell.digest;
   }
   ADD_FAILURE() << "no golden digest for cell " << label;
   return 0;
+}
+
+std::uint64_t golden_obs(const std::string& label) {
+  for (const auto& cell : kGoldenObs) {
+    if (label == cell.label) return cell.digest;
+  }
+  ADD_FAILURE() << "no golden obs digest for cell " << label;
+  return 0;
+}
+
+void expect_cell(const std::string& label, const GridConfig& cfg) {
+  const RunDigests d = run_digests(cfg);
+  EXPECT_EQ(d.sim, golden(kGoldenSim, label))
+      << "sim digest drift at cell " << label;
+  if (cfg.observe) {
+    EXPECT_EQ(d.obs, golden_obs(label))
+        << "obs digest drift at cell " << label;
+  }
 }
 
 class PerfRefactorIdentity : public ::testing::TestWithParam<AlgorithmKind> {};
@@ -121,8 +204,7 @@ TEST_P(PerfRefactorIdentity, MatchesPreRefactorGolden) {
   for (std::uint64_t seed : {11u, 23u}) {
     const std::string label =
         std::string(to_string(GetParam())) + "/" + std::to_string(seed);
-    const std::string d = digest_string(base_config(seed, GetParam()));
-    EXPECT_EQ(fnv1a(d), golden(label)) << "digest drift at cell " << label;
+    expect_cell(label, base_config(seed, GetParam()));
   }
 }
 
@@ -139,15 +221,37 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, PerfRefactorIdentity,
 // engine serves — periodic timers, session ends, fault backoff retries,
 // replica sweeps — all cancelling and rescheduling against the slab.
 TEST(PerfRefactorIdentity, StressedCellMatchesGolden) {
-  const std::string d = digest_string(stress_config(7));
-  EXPECT_EQ(fnv1a(d), golden("stress/7")) << "digest drift at cell stress/7";
+  expect_cell("stress/7", stress_config(7));
+}
+
+// The same stressed cell with 1-in-4 head sampling and the flight recorder
+// on: the simulation half of the digest must not move by a bit.
+TEST(PerfRefactorIdentity, SampledStressedCellMatchesGolden) {
+  expect_cell("stress-sampled/7", sampled_stress_config(7));
+}
+
+// Observability fully off: the sim digest equals the observed runs' — the
+// whole obs layer (streaming tracer included) never perturbs the grid.
+TEST(PerfRefactorIdentity, ObsOffCellsMatchObsOnSimDigests) {
+  for (std::uint64_t seed : {11u, 23u}) {
+    auto cfg = base_config(seed, AlgorithmKind::kQsa);
+    cfg.observe = false;
+    expect_cell("qsa/" + std::to_string(seed) + "/obs-off", cfg);
+  }
+  auto cfg = stress_config(7);
+  cfg.observe = false;
+  expect_cell("stress/7/obs-off", cfg);
 }
 
 // Same cell, same seed, two fresh grids in one process: the engine (slot
-// recycling, shrink policy, DenseMap state) leaks nothing between runs.
+// recycling, shrink policy, DenseMap state) and the tracer slab leak
+// nothing between runs.
 TEST(PerfRefactorIdentity, RerunIsDeterministic) {
-  const auto cfg = base_config(11, AlgorithmKind::kQsa);
-  EXPECT_EQ(digest_string(cfg), digest_string(cfg));
+  const auto cfg = sampled_stress_config(7);
+  const RunDigests a = run_digests(cfg);
+  const RunDigests b = run_digests(cfg);
+  EXPECT_EQ(a.sim, b.sim);
+  EXPECT_EQ(a.obs, b.obs);
 }
 
 }  // namespace

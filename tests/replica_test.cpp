@@ -22,6 +22,7 @@
 #include "qsa/harness/experiment.hpp"
 #include "qsa/harness/grid.hpp"
 #include "qsa/obs/export.hpp"
+#include "qsa/obs/sink.hpp"
 #include "qsa/overlay/chord_ring.hpp"
 #include "qsa/qos/satisfy.hpp"
 #include "qsa/registry/directory.hpp"
@@ -365,9 +366,11 @@ struct RunArtifacts {
 
 RunArtifacts run_grid(const harness::GridConfig& cfg) {
   harness::GridSimulation grid(cfg);
+  obs::StringSpanSink sink;  // spans stream out as requests finish
+  grid.set_span_sink(&sink);
   RunArtifacts a;
   a.result = grid.run();
-  a.trace = obs::trace_jsonl(*grid.tracer());
+  a.trace = sink.str();
   a.metrics_csv = obs::metrics_csv(*grid.metrics());
   return a;
 }

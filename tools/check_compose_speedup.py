@@ -9,7 +9,8 @@ pair regresses below 1.0x, i.e. the cache made compose slower).
 Usage:
     micro_algorithms --benchmark_filter='BM_QcsCompose' \
         --benchmark_format=json > bench.json
-    python3 tools/check_compose_speedup.py bench.json [--min-speedup=1.5]
+    python3 tools/check_compose_speedup.py bench.json [--min-speedup=1.5] \
+        [--json-out=FILE]   # machine-readable gate result (gate_common.py)
 
 The threshold is deliberately below the ~2x seen on quiet machines: CI
 runners are noisy and the gate exists to catch the cache being wired out
@@ -19,6 +20,10 @@ or pessimized, not to certify peak numbers.
 import argparse
 import json
 import sys
+
+from gate_common import add_json_out_arg, write_json_out
+
+GATE = "check_compose_speedup"
 
 
 def load_pairs(report):
@@ -62,7 +67,9 @@ def main():
     parser.add_argument("report", help="google-benchmark JSON report")
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="minimum mean plain/cached ratio (default 1.5)")
+    add_json_out_arg(parser)
     opts = parser.parse_args()
+    thresholds = {"min_speedup": opts.min_speedup}
 
     with open(opts.report, encoding="utf-8") as fh:
         report = json.load(fh)
@@ -74,10 +81,13 @@ def main():
         print("error: the report is missing BM_QcsCompose* rows — was "
               "micro_algorithms run with "
               "--benchmark_filter='BM_QcsCompose'?", file=sys.stderr)
+        write_json_out(opts.json_out, GATE, False, 2, thresholds,
+                       {"problems": problems})
         return 2
     if not pairs:
         print("error: no BM_QcsCompose/BM_QcsComposeCached pairs in report",
               file=sys.stderr)
+        write_json_out(opts.json_out, GATE, False, 2, thresholds, {})
         return 2
 
     print(f"{'args':>10} {'plain ns':>12} {'cached ns':>12} {'speedup':>9}")
@@ -94,6 +104,10 @@ def main():
     print(f"mean speedup over {len(speedups)} sizes: {mean:.2f}x "
           f"(threshold {opts.min_speedup:.2f}x)")
 
+    ok = not slower and mean >= opts.min_speedup
+    write_json_out(opts.json_out, GATE, ok, 0 if ok else 1, thresholds,
+                   {"mean_speedup": mean, "cells": len(speedups),
+                    "regressed": slower})
     if slower:
         print(f"FAIL: cache slower than uncached at {', '.join(slower)}",
               file=sys.stderr)

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Gate on the observability overhead budget measured by
+bench/bench_obs_overhead.
+
+Reads the bench's --json-out report and fails unless:
+
+  * wall overhead: obs-on wall time <= --max-overhead x obs-off (default
+    1.10 — the pipeline must be cheap enough to leave on);
+  * bounded memory: the tracer's peak resident span count at 10x the
+    request volume <= --max-memory-growth x the 1x peak (default 2.0 —
+    resident obs memory tracks *active* requests, not run length).
+
+Usage:
+    bench_obs_overhead --json-out=BENCH_obs.json
+    python3 tools/check_obs_overhead.py BENCH_obs.json \
+        [--max-overhead=1.10] [--max-memory-growth=2.0] [--json-out=FILE]
+
+The wall threshold is intentionally loose for noisy shared runners: the
+gate exists to catch the pipeline growing a hot-path regression (per-span
+allocation, unsampled serialization), not to certify quiet-machine numbers.
+"""
+
+import argparse
+import json
+import sys
+
+from gate_common import add_json_out_arg, write_json_out
+
+GATE = "check_obs_overhead"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="bench_obs_overhead --json-out report")
+    parser.add_argument("--max-overhead", type=float, default=1.10,
+                        help="max obs-on/obs-off wall ratio (default 1.10)")
+    parser.add_argument("--max-memory-growth", type=float, default=2.0,
+                        help="max 10x/1x peak resident span ratio "
+                             "(default 2.0)")
+    add_json_out_arg(parser)
+    opts = parser.parse_args()
+    thresholds = {"max_overhead": opts.max_overhead,
+                  "max_memory_growth": opts.max_memory_growth}
+
+    with open(opts.report, encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    wall = report.get("wall", {})
+    memory = report.get("memory", {})
+    missing = [key for section, key in
+               ((wall, "overhead"), (memory, "growth"),
+                (wall, "off_ms"), (wall, "on_ms"),
+                (memory, "high_water_1x"), (memory, "high_water_10x"))
+               if key not in section]
+    if missing:
+        print(f"error: report is missing field(s) {', '.join(missing)} — "
+              "was bench_obs_overhead run with --json-out?", file=sys.stderr)
+        write_json_out(opts.json_out, GATE, False, 2, thresholds,
+                       {"missing": missing})
+        return 2
+
+    overhead = wall["overhead"]
+    growth = memory["growth"]
+    measured = {"overhead": overhead, "growth": growth,
+                "off_ms": wall["off_ms"], "on_ms": wall["on_ms"],
+                "high_water_1x": memory["high_water_1x"],
+                "high_water_10x": memory["high_water_10x"]}
+
+    print(f"wall: obs-off {wall['off_ms']:.1f} ms, "
+          f"obs-on {wall['on_ms']:.1f} ms -> {overhead:.3f}x "
+          f"(max {opts.max_overhead:.2f}x)")
+    print(f"memory: peak resident spans {memory['high_water_1x']} at 1x, "
+          f"{memory['high_water_10x']} at 10x requests -> {growth:.3f}x "
+          f"(max {opts.max_memory_growth:.2f}x)")
+    if memory.get("requests_10x", 0):
+        print(f"context: {memory.get('requests_1x', '?')} -> "
+              f"{memory['requests_10x']} requests, "
+              f"{report.get('trace', {}).get('spans_emitted_1x', '?')} spans "
+              f"emitted at 1x (sample 1-in-"
+              f"{report.get('trace_sample', '?')})")
+
+    failures = []
+    if overhead > opts.max_overhead:
+        failures.append(f"wall overhead {overhead:.3f}x > "
+                        f"{opts.max_overhead:.2f}x")
+    if growth > opts.max_memory_growth:
+        failures.append(f"peak-span growth {growth:.3f}x > "
+                        f"{opts.max_memory_growth:.2f}x")
+
+    ok = not failures
+    write_json_out(opts.json_out, GATE, ok, 0 if ok else 1, thresholds,
+                   measured)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not ok:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,8 @@ rows, when present, are printed as whole-simulation context but never gated
 Usage:
     bench_sim_throughput --benchmark_filter='BM_(EventQueue|GridWallclock)' \
         --benchmark_format=json > BENCH_sim.json
-    python3 tools/check_sim_speedup.py BENCH_sim.json [--min-speedup=1.3]
+    python3 tools/check_sim_speedup.py BENCH_sim.json [--min-speedup=1.3] \
+        [--json-out=FILE]   # machine-readable gate result (gate_common.py)
 
 The threshold sits well below the speedups seen on quiet machines: CI
 runners are noisy and the gate exists to catch the engine being pessimized,
@@ -24,6 +25,9 @@ import argparse
 import json
 import sys
 
+from gate_common import add_json_out_arg, write_json_out
+
+GATE = "check_sim_speedup"
 SHAPES = ("Hold", "CancelHeavy")
 
 
@@ -69,7 +73,9 @@ def main():
     parser.add_argument("report", help="google-benchmark JSON report")
     parser.add_argument("--min-speedup", type=float, default=1.3,
                         help="minimum mean legacy/new ratio (default 1.3)")
+    add_json_out_arg(parser)
     opts = parser.parse_args()
+    thresholds = {"min_speedup": opts.min_speedup}
 
     with open(opts.report, encoding="utf-8") as fh:
         report = json.load(fh)
@@ -82,10 +88,13 @@ def main():
               "bench_sim_throughput run with "
               "--benchmark_filter='BM_(EventQueue|GridWallclock)'?",
               file=sys.stderr)
+        write_json_out(opts.json_out, GATE, False, 2, thresholds,
+                       {"problems": problems})
         return 2
     if not pairs:
         print("error: no BM_EventQueue*/BM_EventQueueLegacy* pairs in report",
               file=sys.stderr)
+        write_json_out(opts.json_out, GATE, False, 2, thresholds, {})
         return 2
 
     print(f"{'shape/size':>20} {'legacy ns':>12} {'new ns':>12} {'speedup':>9}")
@@ -111,6 +120,10 @@ def main():
         print(f"context: {row['name']} = {row.get('real_time', 0):,.1f} "
               f"{row.get('time_unit', 'ns')}{eps_str}")
 
+    ok = not slower and mean >= opts.min_speedup
+    write_json_out(opts.json_out, GATE, ok, 0 if ok else 1, thresholds,
+                   {"mean_speedup": mean, "cells": len(speedups),
+                    "regressed": slower})
     if slower:
         print(f"FAIL: new engine slower than legacy at {', '.join(slower)}",
               file=sys.stderr)

@@ -1,0 +1,37 @@
+"""Shared plumbing for the tools/check_*.py CI gates.
+
+Every gate accepts `--json-out=FILE` and, alongside its human-readable
+stdout report, writes one machine-readable result object:
+
+    {"gate": "<script name>", "ok": true|false, "exit_code": 0|1|2,
+     "thresholds": {...}, "measured": {...}}
+
+so CI can aggregate gate outcomes without scraping logs. The object is
+written on success *and* failure (exit code 2 — unusable input — writes
+whatever was known at that point).
+"""
+
+import json
+
+
+def add_json_out_arg(parser):
+    """Registers the shared --json-out option on an argparse parser."""
+    parser.add_argument(
+        "--json-out", default="",
+        help="write a machine-readable gate result object to this file")
+
+
+def write_json_out(path, gate, ok, exit_code, thresholds, measured):
+    """Writes the shared gate-result object; no-op when path is empty."""
+    if not path:
+        return
+    payload = {
+        "gate": gate,
+        "ok": bool(ok),
+        "exit_code": int(exit_code),
+        "thresholds": thresholds,
+        "measured": measured,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
