@@ -29,18 +29,20 @@ bool discover_candidates(const GridServices& services,
                          const ServiceRequest& request, sim::SimTime now,
                          std::vector<std::vector<registry::InstanceId>>& out,
                          AggregationPlan& plan) {
-  out.clear();
-  out.reserve(request.abstract_path.size());
-  for (registry::ServiceId service : request.abstract_path) {
-    registry::Discovery d = services.directory->discover(
-        service, request.requester, services.net, now);
-    plan.lookup_hops += d.hops;
-    plan.setup_latency += d.latency;
-    if (d.instances.empty()) {
+  const std::size_t services_on_path = request.abstract_path.size();
+  // Grow-only: shrinking would free the inner vectors' buffers; callers
+  // read exactly the first services_on_path entries.
+  if (out.size() < services_on_path) out.resize(services_on_path);
+  for (std::size_t i = 0; i < services_on_path; ++i) {
+    const registry::DiscoveryStats stats = services.directory->discover_into(
+        request.abstract_path[i], request.requester, services.net, now,
+        out[i]);
+    plan.lookup_hops += stats.hops;
+    plan.setup_latency += stats.latency;
+    if (out[i].empty()) {
       plan.failure = FailureCause::kDiscovery;
       return false;
     }
-    out.push_back(std::move(d.instances));
   }
   return true;
 }
@@ -61,41 +63,52 @@ QsaAlgorithm::QsaAlgorithm(GridServices services, qos::TupleWeights weights,
 
 AggregationPlan QsaAlgorithm::aggregate(const ServiceRequest& request,
                                         sim::SimTime now) {
-  QSA_EXPECTS(!request.abstract_path.empty());
   AggregationPlan plan;
+  aggregate_into(request, now, plan);
+  return plan;
+}
+
+void QsaAlgorithm::aggregate_into(const ServiceRequest& request,
+                                  sim::SimTime now, AggregationPlan& plan) {
+  QSA_EXPECTS(!request.abstract_path.empty());
+  plan.reset();
 
   // Tier 1a: discover candidate instances through the P2P lookup service.
-  std::vector<std::vector<registry::InstanceId>> candidates;
-  if (!discover_candidates(services_, request, now, candidates, plan)) {
-    return plan;
+  if (!discover_candidates(services_, request, now, candidates_, plan)) {
+    return;
   }
+  const std::span<const std::vector<registry::InstanceId>> candidates(
+      candidates_.data(), request.abstract_path.size());
 
   // Tier 1b: compose the QoS-consistent shortest service path.
-  CompositionRequest creq{std::move(candidates), request.requirement};
-  CompositionResult comp;
   if (options_.qcs_composition) {
-    comp = composer_.compose(creq);
+    composer_.compose_into(candidates, request.requirement, comp_);
   } else {
     // Ablation: a random QoS-consistent path (the baseline composer), built
     // with this algorithm's own RNG stream.
-    comp = compose_random(composer_, creq, rng_);
+    comp_ = compose_random(
+        composer_,
+        CompositionRequest{{candidates.begin(), candidates.end()},
+                           request.requirement},
+        rng_);
   }
-  if (!comp.success) {
+  if (!comp_.success) {
     plan.failure = FailureCause::kComposition;
-    return plan;
+    return;
   }
-  plan.instances = comp.instances;
-  plan.composition_cost = comp.cost;
+  plan.instances = comp_.instances;
+  plan.composition_cost = comp_.cost;
 
   // Tier 2: dynamic peer selection, hop by hop in the reverse direction of
   // the aggregation flow (hop 1 = the sink-layer instance, selected by the
   // requester's host).
   const std::size_t layers = plan.instances.size();
-  std::vector<std::vector<net::PeerId>> hop_candidates(layers);
+  if (hop_candidates_.size() < layers) hop_candidates_.resize(layers);
   for (std::size_t hop = 1; hop <= layers; ++hop) {
     const registry::InstanceId inst = plan.instances[layers - hop];
     auto providers = services_.placement->providers(inst);
-    auto& cands = hop_candidates[hop - 1];
+    auto& cands = hop_candidates_[hop - 1];
+    cands.clear();
     for (net::PeerId p : providers) {
       if (std::find(request.excluded_hosts.begin(),
                     request.excluded_hosts.end(),
@@ -105,9 +118,11 @@ AggregationPlan QsaAlgorithm::aggregate(const ServiceRequest& request,
     }
     if (cands.empty()) {
       plan.failure = FailureCause::kSelection;
-      return plan;
+      return;
     }
   }
+  const std::span<const std::vector<net::PeerId>> hop_candidates(
+      hop_candidates_.data(), layers);
   services_.neighbors->register_path(request.requester, hop_candidates, now);
 
   plan.hosts.assign(layers, net::kNoPeer);
@@ -131,13 +146,12 @@ AggregationPlan QsaAlgorithm::aggregate(const ServiceRequest& request,
     }
     if (!chosen.ok()) {
       plan.failure = FailureCause::kSelection;
-      return plan;
+      return;
     }
     if (chosen.random_fallback) ++plan.random_fallback_hops;
     plan.hosts[layers - hop] = chosen.peer;
     current = chosen.peer;
   }
-  return plan;
 }
 
 }  // namespace qsa::core

@@ -65,6 +65,18 @@ struct AggregationPlan {
   [[nodiscard]] bool ok() const noexcept {
     return failure == FailureCause::kNone;
   }
+
+  /// Back to the default-constructed state, keeping the vectors' capacity —
+  /// the aggregate_into() reuse contract.
+  void reset() noexcept {
+    failure = FailureCause::kNone;
+    instances.clear();
+    hosts.clear();
+    composition_cost = 0;
+    lookup_hops = 0;
+    setup_latency = sim::SimTime::zero();
+    random_fallback_hops = 0;
+  }
 };
 
 class AggregationAlgorithm {
@@ -72,6 +84,14 @@ class AggregationAlgorithm {
   virtual ~AggregationAlgorithm() = default;
   [[nodiscard]] virtual AggregationPlan aggregate(const ServiceRequest& request,
                                                   sim::SimTime now) = 0;
+  /// Writes the plan into `out`, reusing its buffers. The serving loop's
+  /// entry point: QSA overrides it allocation-free; the default wrapper
+  /// (the baselines) move-assigns a fresh plan. Results are identical to
+  /// aggregate() either way.
+  virtual void aggregate_into(const ServiceRequest& request, sim::SimTime now,
+                              AggregationPlan& out) {
+    out = aggregate(request, now);
+  }
   [[nodiscard]] virtual std::string_view name() const = 0;
   /// Live load balancing (replication tier): algorithms that rank hosts may
   /// discount loaded candidates. No-op for algorithms without a ranking.
@@ -106,6 +126,11 @@ class QsaAlgorithm final : public AggregationAlgorithm {
 
   [[nodiscard]] AggregationPlan aggregate(const ServiceRequest& request,
                                           sim::SimTime now) override;
+  /// The hot-path entry point: steady state (warm discovery cache, warmed
+  /// neighbor tables, previously seen path lengths) performs no heap
+  /// allocation — the scratch below grows to a plateau and is reused.
+  void aggregate_into(const ServiceRequest& request, sim::SimTime now,
+                      AggregationPlan& out) override;
   [[nodiscard]] std::string_view name() const override { return "qsa"; }
 
   [[nodiscard]] const QcsComposer& composer() const noexcept {
@@ -122,11 +147,19 @@ class QsaAlgorithm final : public AggregationAlgorithm {
   PeerSelector selector_;
   QsaOptions options_;
   util::Rng rng_;
+
+  // Per-request scratch, grow-only (inner vectors keep their capacity
+  // across requests). One QsaAlgorithm instance serves one thread.
+  std::vector<std::vector<registry::InstanceId>> candidates_;
+  std::vector<std::vector<net::PeerId>> hop_candidates_;
+  CompositionResult comp_;
 };
 
 /// Discovers candidate instances for every service on the abstract path.
 /// Shared by QSA and the baselines. Returns false (and sets the plan's
-/// failure) when any service has no candidates.
+/// failure) when any service has no candidates. `out` is grow-only scratch:
+/// only its first abstract_path.size() entries are meaningful after the
+/// call (extra entries from earlier, longer requests keep their buffers).
 bool discover_candidates(const GridServices& services,
                          const ServiceRequest& request, sim::SimTime now,
                          std::vector<std::vector<registry::InstanceId>>& out,

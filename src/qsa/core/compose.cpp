@@ -45,10 +45,23 @@ bool QcsComposer::satisfies_requirement(const registry::ServiceInstance& inst,
 
 CompositionResult QcsComposer::compose(const CompositionRequest& req) const {
   CompositionResult result;
-  const std::size_t layers = req.candidates.size();
-  if (layers == 0) return result;
-  for (const auto& layer : req.candidates) {
-    if (layer.empty()) return result;  // a service with no candidates
+  compose_into(req.candidates, req.requirement, result);
+  return result;
+}
+
+void QcsComposer::compose_into(
+    std::span<const std::vector<registry::InstanceId>> candidates,
+    const qos::QosVector& requirement, CompositionResult& result) const {
+  result.success = false;
+  result.instances.clear();
+  result.cost = 0;
+  result.nodes = 0;
+  result.edges_examined = 0;
+  result.nodes_checked = 0;
+  const std::size_t layers = candidates.size();
+  if (layers == 0) return;
+  for (const auto& layer : candidates) {
+    if (layer.empty()) return;  // a service with no candidates
     result.nodes += layer.size();
   }
 
@@ -59,17 +72,20 @@ CompositionResult QcsComposer::compose(const CompositionRequest& req) const {
   // edge examinations the O(V^2) Dijkstra would: each (consumer, producer)
   // pair is examined once; edge costs are nonnegative, and the layered DAG
   // admits no shortcut Dijkstra could exploit.
-  std::vector<std::vector<double>> dist(layers);
-  std::vector<std::vector<std::uint32_t>> parent(layers);
+  //
+  // The tables are grow-only members: .assign() reuses each inner buffer,
+  // so a warm composer allocates nothing for path shapes it has seen.
+  if (dist_.size() < layers) dist_.resize(layers);
+  if (parent_.size() < layers) parent_.resize(layers);
 
   const std::size_t sink = layers - 1;
-  dist[sink].assign(req.candidates[sink].size(), kInf);
-  parent[sink].assign(req.candidates[sink].size(), 0);
-  for (std::size_t j = 0; j < req.candidates[sink].size(); ++j) {
-    const auto& inst = catalog_.instance(req.candidates[sink][j]);
+  dist_[sink].assign(candidates[sink].size(), kInf);
+  parent_[sink].assign(candidates[sink].size(), 0);
+  for (std::size_t j = 0; j < candidates[sink].size(); ++j) {
+    const auto& inst = catalog_.instance(candidates[sink][j]);
     ++result.nodes_checked;
-    if (satisfies_requirement(inst, req.requirement)) {
-      dist[sink][j] = instance_cost(inst.id);
+    if (satisfies_requirement(inst, requirement)) {
+      dist_[sink][j] = instance_cost(inst.id);
     }
   }
 
@@ -77,64 +93,60 @@ CompositionResult QcsComposer::compose(const CompositionRequest& req) const {
   // entries (finite dist), with instances resolved once. The inner loop
   // then touches only live consumers, and the edge counter hoists out to
   // one add per producer.
-  std::vector<const registry::ServiceInstance*> consumers;
-  std::vector<std::uint32_t> live;
-  std::vector<double> live_dist;
   for (std::size_t l = sink; l-- > 0;) {
-    dist[l].assign(req.candidates[l].size(), kInf);
-    parent[l].assign(req.candidates[l].size(), 0);
+    dist_[l].assign(candidates[l].size(), kInf);
+    parent_[l].assign(candidates[l].size(), 0);
     const std::size_t consumer_layer = l + 1;
-    const std::vector<double>& cdist = dist[consumer_layer];
-    consumers.clear();
-    live.clear();
-    live_dist.clear();
-    for (std::size_t c = 0; c < req.candidates[consumer_layer].size(); ++c) {
+    const std::vector<double>& cdist = dist_[consumer_layer];
+    consumers_.clear();
+    live_.clear();
+    live_dist_.clear();
+    for (std::size_t c = 0; c < candidates[consumer_layer].size(); ++c) {
       if (cdist[c] == kInf) continue;
-      live.push_back(static_cast<std::uint32_t>(c));
-      live_dist.push_back(cdist[c]);
-      consumers.push_back(&catalog_.instance(req.candidates[consumer_layer][c]));
+      live_.push_back(static_cast<std::uint32_t>(c));
+      live_dist_.push_back(cdist[c]);
+      consumers_.push_back(&catalog_.instance(candidates[consumer_layer][c]));
     }
-    for (std::size_t j = 0; j < req.candidates[l].size(); ++j) {
-      const auto& producer = catalog_.instance(req.candidates[l][j]);
+    for (std::size_t j = 0; j < candidates[l].size(); ++j) {
+      const auto& producer = catalog_.instance(candidates[l][j]);
       const double own = instance_cost(producer.id);
-      result.edges_examined += live.size();
+      result.edges_examined += live_.size();
       double best = kInf;
       std::uint32_t best_parent = 0;
       // Ascending order keeps the lowest-index tie-break of the original
       // relaxation, so plans are unchanged.
-      for (std::size_t k = 0; k < live.size(); ++k) {
-        if (!compatible(producer, *consumers[k])) continue;
-        const double through = live_dist[k] + own;
+      for (std::size_t k = 0; k < live_.size(); ++k) {
+        if (!compatible(producer, *consumers_[k])) continue;
+        const double through = live_dist_[k] + own;
         if (through < best) {
           best = through;
-          best_parent = live[k];
+          best_parent = live_[k];
         }
       }
-      dist[l][j] = best;
-      parent[l][j] = best_parent;
+      dist_[l][j] = best;
+      parent_[l][j] = best_parent;
     }
   }
 
   // Best entry point in the source layer.
   std::size_t best = 0;
   double best_cost = kInf;
-  for (std::size_t j = 0; j < dist[0].size(); ++j) {
-    if (dist[0][j] < best_cost) {
-      best_cost = dist[0][j];
+  for (std::size_t j = 0; j < dist_[0].size(); ++j) {
+    if (dist_[0][j] < best_cost) {
+      best_cost = dist_[0][j];
       best = j;
     }
   }
-  if (best_cost == kInf) return result;  // no consistent path
+  if (best_cost == kInf) return;  // no consistent path
 
   result.success = true;
   result.cost = best_cost;
   result.instances.resize(layers);
   std::size_t at = best;
   for (std::size_t l = 0; l < layers; ++l) {
-    result.instances[l] = req.candidates[l][at];
-    if (l + 1 < layers) at = parent[l][at];
+    result.instances[l] = candidates[l][at];
+    if (l + 1 < layers) at = parent_[l][at];
   }
-  return result;
 }
 
 }  // namespace qsa::core

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "qsa/cache/compose_cache.hpp"
@@ -65,6 +66,15 @@ class QcsComposer {
 
   [[nodiscard]] CompositionResult compose(const CompositionRequest& req) const;
 
+  /// Allocation-free variant: writes into `out` (buffers reused) and keeps
+  /// the relaxation tables as grow-only scratch on the composer, so a warm
+  /// composer performs no heap allocation for path shapes it has seen.
+  /// Results are bit-identical to compose(). The scratch makes a composer
+  /// instance single-threaded: one composer (one algorithm) per thread.
+  void compose_into(std::span<const std::vector<registry::InstanceId>> candidates,
+                    const qos::QosVector& requirement,
+                    CompositionResult& out) const;
+
   /// The scalarized cost sigma(R, b) QCS charges for including `instance`.
   [[nodiscard]] double instance_cost(registry::InstanceId instance) const;
 
@@ -99,6 +109,14 @@ class QcsComposer {
   qos::TupleWeights weights_;
   qos::ResourceSchema schema_;
   cache::ComposeCache* cache_ = nullptr;
+
+  // compose_into() scratch (mutable: compose is logically const, the
+  // tables are pure workspace). Grow-only; inner vectors keep capacity.
+  mutable std::vector<std::vector<double>> dist_;
+  mutable std::vector<std::vector<std::uint32_t>> parent_;
+  mutable std::vector<const registry::ServiceInstance*> consumers_;
+  mutable std::vector<std::uint32_t> live_;
+  mutable std::vector<double> live_dist_;
 };
 
 }  // namespace qsa::core

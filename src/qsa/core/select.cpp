@@ -25,19 +25,44 @@ double PeerSelector::phi(const probe::PerfSnapshot& snap,
   return value;
 }
 
+net::PeerId PeerSelector::filter_pass(
+    const registry::ServiceInstance& instance, sim::SimTime session_duration,
+    bool with_uptime, util::Rng& rng) const {
+  net::PeerId best = net::kNoPeer;
+  double best_phi = 0;
+  std::size_t qualified = 0;
+  for (const Known& k : known_) {
+    if (!k.snap.alive) continue;
+    if (with_uptime && k.snap.uptime < session_duration) continue;
+    if (!instance.resources.fits_within(k.snap.available)) continue;
+    if (k.snap.bandwidth_kbps < instance.bandwidth_kbps) continue;
+    ++qualified;
+    if (options_.use_phi_ranking) {
+      const double value = phi(k.snap, instance);
+      if (best == net::kNoPeer || value > best_phi ||
+          (value == best_phi && k.peer < best)) {
+        best = k.peer;
+        best_phi = value;
+      }
+    } else if (best == net::kNoPeer || rng.index(qualified) == 0) {
+      // Reservoir-sample a uniform survivor when Phi ranking is ablated.
+      // The short-circuit means the first survivor draws nothing, exactly
+      // as the pre-refactor loop did: RNG streams are unchanged.
+      best = k.peer;
+    }
+  }
+  return best;
+}
+
 HopSelection PeerSelector::select_hop(
     const net::PeerTable& peers, const net::NetworkModel& net,
     const probe::NeighborTable& table, net::PeerId current,
     const registry::ServiceInstance& instance,
     std::span<const net::PeerId> candidates, sim::SimTime session_duration,
     sim::SimTime now, util::Rng& rng) const {
-  struct Known {
-    net::PeerId peer;
-    probe::PerfSnapshot snap;
-  };
-  std::vector<Known> known;
-  std::vector<net::PeerId> unknown;
-  known.reserve(candidates.size());
+  known_.clear();
+  unknown_.clear();
+  known_.reserve(candidates.size());
 
   for (net::PeerId c : candidates) {
     if (table.knows(c, now)) {
@@ -49,46 +74,27 @@ HopSelection PeerSelector::select_hop(
         k.snap.available -= load_(c);
         k.snap.available.clamp_negative_zero();
       }
-      known.push_back(std::move(k));
+      known_.push_back(std::move(k));
     } else {
-      unknown.push_back(c);
+      unknown_.push_back(c);
     }
   }
 
-  // Two filter passes: first with the uptime match, then (best effort)
-  // without it.
-  const bool passes[] = {options_.use_uptime_filter, false};
-  for (bool with_uptime : passes) {
-    if (with_uptime && !options_.use_uptime_filter) continue;
-    net::PeerId best = net::kNoPeer;
-    double best_phi = 0;
-    std::size_t qualified = 0;
-    for (const Known& k : known) {
-      if (!k.snap.alive) continue;
-      if (with_uptime && k.snap.uptime < session_duration) continue;
-      if (!instance.resources.fits_within(k.snap.available)) continue;
-      if (k.snap.bandwidth_kbps < instance.bandwidth_kbps) continue;
-      ++qualified;
-      if (options_.use_phi_ranking) {
-        const double value = phi(k.snap, instance);
-        if (best == net::kNoPeer || value > best_phi ||
-            (value == best_phi && k.peer < best)) {
-          best = k.peer;
-          best_phi = value;
-        }
-      } else if (best == net::kNoPeer ||
-                 rng.index(qualified) == 0) {
-        // Reservoir-sample a uniform survivor when Phi ranking is ablated.
-        best = k.peer;
-      }
-    }
-    if (best != net::kNoPeer) return HopSelection{best, false};
-    if (!with_uptime) break;  // both passes failed
+  // First pass matches uptime only when the filter is on; a failed filtered
+  // pass is retried relaxed (best effort). With the filter off there is
+  // nothing to relax, so exactly one pass runs — the old loop's second,
+  // identical pass never executed either (it broke out), but it cost a
+  // dead-code guard on every call and read as if it could.
+  net::PeerId best =
+      filter_pass(instance, session_duration, options_.use_uptime_filter, rng);
+  if (best == net::kNoPeer && options_.use_uptime_filter) {
+    best = filter_pass(instance, session_duration, /*with_uptime=*/false, rng);
   }
+  if (best != net::kNoPeer) return HopSelection{best, false};
 
   // Random fallback among candidates we lack information about.
-  if (!unknown.empty()) {
-    return HopSelection{unknown[rng.index(unknown.size())], true};
+  if (!unknown_.empty()) {
+    return HopSelection{unknown_[rng.index(unknown_.size())], true};
   }
   return HopSelection{};  // hop failed
 }

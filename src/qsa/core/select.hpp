@@ -18,6 +18,7 @@
 
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "qsa/net/network.hpp"
 #include "qsa/net/peer.hpp"
@@ -82,10 +83,28 @@ class PeerSelector {
   }
 
  private:
+  /// A candidate the current peer holds probe information about.
+  struct Known {
+    net::PeerId peer;
+    probe::PerfSnapshot snap;
+  };
+
+  /// One filter+rank pass over known_. Returns the winner or kNoPeer.
+  [[nodiscard]] net::PeerId filter_pass(
+      const registry::ServiceInstance& instance, sim::SimTime session_duration,
+      bool with_uptime, util::Rng& rng) const;
+
   qos::TupleWeights weights_;
   qos::ResourceSchema schema_;
   SelectorOptions options_;
   LoadSignal load_;
+
+  // select_hop() scratch (mutable: selection is logically const, these are
+  // pure workspace). Grow-only capacity; PerfSnapshot is inline storage
+  // (SmallVec), so a warm selector allocates nothing. One PeerSelector
+  // serves one thread.
+  mutable std::vector<Known> known_;
+  mutable std::vector<net::PeerId> unknown_;
 };
 
 }  // namespace qsa::core

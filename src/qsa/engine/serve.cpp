@@ -1,0 +1,127 @@
+#include "qsa/engine/serve.hpp"
+
+#include <barrier>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::engine {
+
+void ServeStats::count(const core::AggregationPlan& plan) noexcept {
+  ++requests;
+  switch (plan.failure) {
+    case core::FailureCause::kNone:
+      ++ok;
+      break;
+    case core::FailureCause::kDiscovery:
+      ++fail_discovery;
+      break;
+    case core::FailureCause::kComposition:
+      ++fail_composition;
+      break;
+    default:
+      // The engine runs setup only; admission/departure never occur here.
+      ++fail_selection;
+      break;
+  }
+  lookup_hops += static_cast<std::uint64_t>(plan.lookup_hops);
+  random_fallback_hops +=
+      static_cast<std::uint64_t>(plan.random_fallback_hops);
+}
+
+void ServeStats::merge(const ServeStats& other) noexcept {
+  requests += other.requests;
+  ok += other.ok;
+  fail_discovery += other.fail_discovery;
+  fail_composition += other.fail_composition;
+  fail_selection += other.fail_selection;
+  lookup_hops += other.lookup_hops;
+  random_fallback_hops += other.random_fallback_hops;
+}
+
+namespace {
+
+/// Serves `count` requests from the pool (cycled), batching clock ticks.
+/// `pool_at` carries the round-robin cursor across phases. Stats and
+/// latency are recorded only when `counted`.
+void run_phase(const ShardLoop& loop, std::uint64_t count, bool counted,
+               std::size_t& pool_at, core::AggregationPlan& plan,
+               ServeStats& stats) {
+  const std::size_t batch = loop.batch > 0 ? loop.batch : 1;
+  std::uint64_t served = 0;
+  while (served < count) {
+    if (loop.tick > sim::SimTime::zero()) loop.clock->advance(loop.tick);
+    const std::uint64_t burst =
+        std::min<std::uint64_t>(batch, count - served);
+    for (std::uint64_t b = 0; b < burst; ++b) {
+      const core::ServiceRequest& request = loop.pool[pool_at];
+      pool_at = pool_at + 1 == loop.pool.size() ? 0 : pool_at + 1;
+      if (counted && loop.latency_us != nullptr) {
+        const auto t0 = std::chrono::steady_clock::now();
+        loop.engine->serve_into(request, plan);
+        const auto t1 = std::chrono::steady_clock::now();
+        loop.latency_us->observe(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      } else {
+        loop.engine->serve_into(request, plan);
+      }
+      if (counted) stats.count(plan);
+    }
+    served += burst;
+  }
+}
+
+void check_loop(const ShardLoop& loop) {
+  QSA_EXPECTS(loop.engine != nullptr);
+  QSA_EXPECTS(loop.clock != nullptr);
+  QSA_EXPECTS(!loop.pool.empty());
+}
+
+}  // namespace
+
+ServeStats serve_shard(const ShardLoop& loop) {
+  check_loop(loop);
+  ServeStats stats;
+  core::AggregationPlan plan;
+  std::size_t pool_at = 0;
+  run_phase(loop, loop.warmup, /*counted=*/false, pool_at, plan, stats);
+  run_phase(loop, loop.requests, /*counted=*/true, pool_at, plan, stats);
+  return stats;
+}
+
+ServeStats serve_parallel(std::span<const ShardLoop> shards,
+                          const std::function<void()>& on_steady) {
+  QSA_EXPECTS(!shards.empty());
+  for (const ShardLoop& loop : shards) check_loop(loop);
+
+  // The completion step runs on exactly one thread once every shard has
+  // arrived at the warmup/counted boundary.
+  std::barrier sync(static_cast<std::ptrdiff_t>(shards.size()), [&]() noexcept {
+    if (on_steady) on_steady();
+  });
+
+  std::vector<ServeStats> stats(shards.size());
+  std::vector<std::thread> threads;
+  threads.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    threads.emplace_back([&, i] {
+      const ShardLoop& loop = shards[i];
+      core::AggregationPlan plan;
+      std::size_t pool_at = 0;
+      run_phase(loop, loop.warmup, /*counted=*/false, pool_at, plan,
+                stats[i]);
+      sync.arrive_and_wait();
+      run_phase(loop, loop.requests, /*counted=*/true, pool_at, plan,
+                stats[i]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ServeStats merged;
+  for (const ServeStats& s : stats) merged.merge(s);
+  return merged;
+}
+
+}  // namespace qsa::engine

@@ -7,18 +7,6 @@
 
 namespace qsa::harness {
 
-std::string_view to_string(AlgorithmKind kind) {
-  switch (kind) {
-    case AlgorithmKind::kQsa:
-      return "qsa";
-    case AlgorithmKind::kRandom:
-      return "random";
-    case AlgorithmKind::kFixed:
-      return "fixed";
-  }
-  return "?";
-}
-
 std::string_view to_string(OverlayKind kind) {
   switch (kind) {
     case OverlayKind::kChord:

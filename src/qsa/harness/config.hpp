@@ -7,6 +7,7 @@
 #include <string>
 
 #include "qsa/core/aggregate.hpp"
+#include "qsa/engine/engine.hpp"
 #include "qsa/fault/fault.hpp"
 #include "qsa/replica/config.hpp"
 #include "qsa/sim/time.hpp"
@@ -16,9 +17,11 @@
 
 namespace qsa::harness {
 
-enum class AlgorithmKind : std::uint8_t { kQsa, kRandom, kFixed };
-
-[[nodiscard]] std::string_view to_string(AlgorithmKind kind);
+/// The algorithm under test is an engine-level concept (the serving facade
+/// constructs it with or without a simulation); the harness re-exports it
+/// so existing configs keep reading naturally.
+using AlgorithmKind = engine::AlgorithmKind;
+using engine::to_string;
 
 /// Which P2P lookup substrate the grid runs on. Section 3.2 names "Chord or
 /// CAN"; Pastry is provided as a third structured option.

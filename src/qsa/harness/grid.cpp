@@ -50,12 +50,6 @@ GridSimulation::GridSimulation(GridConfig config)
   }
   directory_ = std::make_unique<registry::ServiceDirectory>(
       util::derive_seed(config_.seed, "directory", 0), *ring_, catalog_);
-  // Cache wiring precedes set_metrics: the directory gates its cache
-  // counters on whether the TTL cache is enabled.
-  directory_->set_cache_ttl(config_.discovery_cache_ttl);
-  if (config_.compose_caches) {
-    compose_cache_ = std::make_unique<cache::ComposeCache>();
-  }
   neighbors_ = std::make_unique<probe::NeighborResolution>(
       config_.probe_budget, config_.neighbor_ttl);
   manager_ = std::make_unique<session::SessionManager>(simulator_, *peers_,
@@ -67,6 +61,30 @@ GridSimulation::GridSimulation(GridConfig config)
     ring_->set_faults(fault_plan_.get());
     neighbors_->set_faults(fault_plan_.get());
     manager_->set_faults(fault_plan_.get());
+  }
+
+  // The composition+selection hot path lives in the sim-free serving
+  // facade; the simulation is one of its drivers (the serving loop is the
+  // other). Constructed before the observe block: the engine sets the
+  // directory's cache TTL, which must precede directory_->set_metrics (the
+  // cache counters are gated on the TTL cache being enabled).
+  {
+    engine::EngineConfig ec;
+    ec.seed = config_.seed;
+    ec.algorithm = config_.algorithm;
+    ec.qsa_options = config_.qsa_options;
+    ec.bandwidth_weight = config_.bandwidth_weight;
+    ec.compose_caches = config_.compose_caches;
+    ec.discovery_cache_ttl = config_.discovery_cache_ttl;
+    engine::EngineDeps deps;
+    deps.catalog = &catalog_;
+    deps.placement = &placement_;
+    deps.directory = directory_.get();
+    deps.peers = peers_.get();
+    deps.net = network_.get();
+    deps.neighbors = neighbors_.get();
+    deps.clock = &sim_clock_;
+    engine_ = std::make_unique<engine::ServingEngine>(ec, deps);
   }
 
   if (config_.observe) {
@@ -93,39 +111,12 @@ GridSimulation::GridSimulation(GridConfig config)
     // Gated on the plan so that with faults off no fault.* metric name is
     // ever registered and exported output stays identical.
     if (fault_plan_ != nullptr) fault_plan_->set_metrics(metrics_.get());
-    // Same gating for cache.compat.*: only registered when the memo exists.
-    if (compose_cache_ != nullptr) compose_cache_->set_metrics(metrics_.get());
+    // Same gating for cache.compat.*: the engine only forwards to the memo
+    // when it exists.
+    engine_->set_metrics(metrics_.get());
   }
 
-  const core::GridServices services{&catalog_,   &placement_, directory_.get(),
-                                    peers_.get(), network_.get(),
-                                    neighbors_.get()};
-  const std::size_t kinds = peers_->schema().kinds();
-  const auto weights =
-      config_.bandwidth_weight < 0
-          ? qos::TupleWeights::uniform(kinds)
-          : qos::TupleWeights(
-                util::SmallVec<double, qos::kMaxResources>(
-                    kinds, (1.0 - config_.bandwidth_weight) /
-                               static_cast<double>(kinds)),
-                config_.bandwidth_weight);
-  switch (config_.algorithm) {
-    case AlgorithmKind::kQsa:
-      algorithm_ = std::make_unique<core::QsaAlgorithm>(
-          services, weights, peers_->schema(),
-          util::derive_seed(config_.seed, "algo", 0), config_.qsa_options,
-          compose_cache_.get());
-      break;
-    case AlgorithmKind::kRandom:
-      algorithm_ = std::make_unique<core::RandomAlgorithm>(
-          services, weights, peers_->schema(),
-          util::derive_seed(config_.seed, "algo", 0), compose_cache_.get());
-      break;
-    case AlgorithmKind::kFixed:
-      algorithm_ = std::make_unique<core::FixedAlgorithm>(
-          services, weights, peers_->schema(), compose_cache_.get());
-      break;
-  }
+  const qos::TupleWeights& weights = engine_->weights();
 
   // The replication tier listens to the session manager's demand signals
   // and widens hot provider pools through placement + directory publish.
@@ -156,7 +147,7 @@ GridSimulation::GridSimulation(GridConfig config)
     // sessions admitted within one probe epoch see near-live headroom and
     // spread across the widened pool instead of piling onto the stale
     // snapshot's single Phi maximizer (and then failing at reservation).
-    algorithm_->set_load_signal(
+    engine_->algorithm().set_load_signal(
         [this](net::PeerId p) { return manager_->epoch_reservations(p); });
   }
   // Concentration accounting rides along with replication (its evaluation
@@ -246,7 +237,9 @@ void GridSimulation::bootstrap() {
 
 core::AggregationPlan GridSimulation::submit_request(
     const core::ServiceRequest& request) {
-  return algorithm_->aggregate(request, simulator_.now());
+  // Through the clock seam on purpose: the engine reads the adapted
+  // simulator clock, so this exercises exactly the serving-loop entry.
+  return engine_->serve(request);
 }
 
 void GridSimulation::record_outcome(std::size_t window, bool success) {
@@ -325,12 +318,12 @@ void GridSimulation::handle_request(const core::ServiceRequest& request) {
     core::AggregationPlan plan;
     if (config_.profile) {
       const auto t0 = std::chrono::steady_clock::now();
-      plan = algorithm_->aggregate(attempt, now);
+      plan = engine_->aggregate(attempt, now);
       profile_.aggregate_ms += std::chrono::duration<double, std::milli>(
                                    std::chrono::steady_clock::now() - t0)
                                    .count();
     } else {
-      plan = algorithm_->aggregate(attempt, now);
+      plan = engine_->aggregate(attempt, now);
     }
     result_.lookup_hops += static_cast<std::uint64_t>(plan.lookup_hops);
     result_.setup_latency_ms +=
@@ -531,7 +524,7 @@ GridResult GridSimulation::run() {
         return h + m > 0 ? h / (h + m) : 0.0;
       });
     }
-    if (compose_cache_ != nullptr) {
+    if (engine_->compose_cache() != nullptr) {
       series_->track("cache.compat.hit_rate", [this] {
         const double h =
             static_cast<double>(metrics_->counter("cache.compat.hits").value);

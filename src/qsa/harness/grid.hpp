@@ -12,6 +12,7 @@
 #include "qsa/cache/compose_cache.hpp"
 #include "qsa/core/aggregate.hpp"
 #include "qsa/core/baselines.hpp"
+#include "qsa/engine/engine.hpp"
 #include "qsa/fault/fault.hpp"
 #include "qsa/harness/config.hpp"
 #include "qsa/metrics/counters.hpp"
@@ -117,15 +118,18 @@ class GridSimulation {
     return *apps_;
   }
   [[nodiscard]] core::AggregationAlgorithm& algorithm() noexcept {
-    return *algorithm_;
+    return engine_->algorithm();
   }
   [[nodiscard]] registry::ServiceDirectory& directory() noexcept {
     return *directory_;
   }
+  /// The sim-free serving facade the simulation routes every aggregation
+  /// through (the same engine a serving loop runs; DESIGN.md §13).
+  [[nodiscard]] engine::ServingEngine& engine() noexcept { return *engine_; }
   /// The compatibility/cost memo tables; non-null iff
   /// `config.compose_caches` is set.
   [[nodiscard]] const cache::ComposeCache* compose_cache() const noexcept {
-    return compose_cache_.get();
+    return engine_->compose_cache();
   }
   [[nodiscard]] session::SessionManager& sessions() noexcept {
     return *manager_;
@@ -201,6 +205,13 @@ class GridSimulation {
   net::PeerId select_replacement(const session::Session& s,
                                  std::size_t position, net::PeerId failed);
 
+  /// Adapts the discrete-event simulator's clock to the engine's time seam.
+  struct SimClock final : engine::Clock {
+    explicit SimClock(const sim::Simulator& s) noexcept : sim(&s) {}
+    [[nodiscard]] sim::SimTime now() const override { return sim->now(); }
+    const sim::Simulator* sim;
+  };
+
   GridConfig config_;
   util::Interner interner_;
   registry::QosUniverse universe_;
@@ -209,14 +220,14 @@ class GridSimulation {
   std::unique_ptr<workload::ApplicationCatalog> apps_;
 
   sim::Simulator simulator_;
+  SimClock sim_clock_{simulator_};
   std::unique_ptr<net::PeerTable> peers_;
   std::unique_ptr<net::NetworkModel> network_;
   std::unique_ptr<overlay::LookupService> ring_;
   registry::PlacementMap placement_;
   std::unique_ptr<registry::ServiceDirectory> directory_;
-  std::unique_ptr<cache::ComposeCache> compose_cache_;
   std::unique_ptr<probe::NeighborResolution> neighbors_;
-  std::unique_ptr<core::AggregationAlgorithm> algorithm_;
+  std::unique_ptr<engine::ServingEngine> engine_;
   std::unique_ptr<session::SessionManager> manager_;
   std::unique_ptr<core::PeerSelector> recovery_selector_;
   std::unique_ptr<fault::FaultPlan> fault_plan_;

@@ -11,6 +11,13 @@ NetworkModel::NetworkModel(std::uint64_t seed, ProbeClock clock)
     : seed_(seed), clock_(clock) {}
 
 std::uint64_t NetworkModel::pair_key(PeerId a, PeerId b) noexcept {
+  // The packing is collision-free only while a PeerId fits in the low half
+  // of the 64-bit key; a wider PeerId would silently alias distinct pairs
+  // (lo's shifted bits colliding with hi's high bits) and corrupt the
+  // reservation ledger. Fail the build instead.
+  static_assert(sizeof(PeerId) * 8 <= 32,
+                "pair_key packs two PeerIds into 64 bits; widen the key "
+                "before widening PeerId");
   const PeerId lo = std::min(a, b);
   const PeerId hi = std::max(a, b);
   return (static_cast<std::uint64_t>(lo) << 32) | hi;
@@ -62,8 +69,20 @@ void NetworkModel::release(PeerId a, PeerId b, double kbps, sim::SimTime now) {
   auto it = links_.find(pair_key(a, b));
   QSA_EXPECTS(it != links_.end());
   it->second.mutate(clock_.epoch(now), [&](double& r) {
+    const double before = r;
     r -= kbps;
-    if (r < 0 && r >= -1e-9) r = 0;
+    // Snap float residue to exactly zero. The tolerance scales with the
+    // magnitudes cancelled: releasing a multi-Mbps reservation (loopback
+    // pairs run at 1e9 kbps) leaves residue far above the old absolute
+    // 1e-9 window, which then accumulated across sessions into drift that
+    // available_kbps() reported as phantom reservation. Relative to
+    // double's 1e-16 precision, 1e-12 per unit magnitude is ~4 orders of
+    // headroom yet snaps only genuine residue, never a real remaining
+    // reservation. Positive residue is left untouched: it is
+    // indistinguishable from live concurrent reservations here, and decays
+    // the same way on their release.
+    const double tol = std::max(1e-9, 1e-12 * std::max(kbps, before));
+    if (r < 0 && r >= -tol) r = 0;
   });
   QSA_ENSURES(it->second.live() > -1e-9);
   // Entries are kept even at zero reservation: the epoch snapshot must stay

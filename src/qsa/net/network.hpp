@@ -53,8 +53,13 @@ class NetworkModel {
     return links_.size();
   }
 
- private:
+  /// Canonical (order-independent) 64-bit key of a peer pair — the ledger's
+  /// map key. Public so tests can pin its injectivity; a static_assert in
+  /// the implementation refuses PeerId types wider than 32 bits, for which
+  /// the packing would silently alias distinct pairs.
   [[nodiscard]] static std::uint64_t pair_key(PeerId a, PeerId b) noexcept;
+
+ private:
   [[nodiscard]] std::uint64_t pair_hash(PeerId a, PeerId b,
                                         std::uint64_t purpose) const noexcept;
 

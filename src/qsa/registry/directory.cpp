@@ -51,32 +51,44 @@ Discovery ServiceDirectory::discover(ServiceId service, net::PeerId from,
                                      const net::NetworkModel* net,
                                      sim::SimTime now) const {
   Discovery d;
+  const DiscoveryStats stats =
+      discover_into(service, from, net, now, d.instances);
+  d.hops = stats.hops;
+  d.latency = stats.latency;
+  return d;
+}
+
+DiscoveryStats ServiceDirectory::discover_into(ServiceId service,
+                                               net::PeerId from,
+                                               const net::NetworkModel* net,
+                                               sim::SimTime now,
+                                               std::vector<InstanceId>& out) const {
   if (const auto* cached = cache_.find(service, now)) {
     // Served from the requester's soft-state cache: no routing, no hops, no
     // latency, and no lookup recorded — the overlay was never consulted.
-    d.instances = *cached;
-    return d;
+    out = *cached;
+    return {};
   }
+  out.clear();
   const overlay::ChordKey key = key_of(service);
   const overlay::LookupStats stats = ring_.route(key, from, net);
-  d.hops = stats.hops;
-  d.latency = stats.latency;
+  DiscoveryStats cost{stats.hops, stats.latency};
   if (stats.ok()) {
     // Under fault injection a lookup whose hop messages were all lost never
     // reaches an owner: the discovery comes back empty (but still paid for).
     for (std::uint64_t v : ring_.get(key)) {
-      d.instances.push_back(static_cast<InstanceId>(v));
+      out.push_back(static_cast<InstanceId>(v));
     }
     // Only completed lookups are worth remembering; a lost lookup's empty
     // answer is not the directory's state.
-    cache_.store(service, d.instances, now);
+    cache_.store(service, out, now);
   }
   if (lookups_ != nullptr) {
     lookups_->add();
-    lookup_hops_->observe(d.hops);
-    lookup_latency_->observe(static_cast<double>(d.latency.as_millis()));
+    lookup_hops_->observe(cost.hops);
+    lookup_latency_->observe(static_cast<double>(cost.latency.as_millis()));
   }
-  return d;
+  return cost;
 }
 
 }  // namespace qsa::registry

@@ -28,6 +28,13 @@ struct Discovery {
   sim::SimTime latency;               ///< summed lookup latency
 };
 
+/// The routing cost of one discovery, without the candidate list (that is
+/// written into the caller's buffer by discover_into()).
+struct DiscoveryStats {
+  int hops = 0;
+  sim::SimTime latency;
+};
+
 class ServiceDirectory {
  public:
   ServiceDirectory(std::uint64_t seed, overlay::LookupService& ring,
@@ -50,6 +57,14 @@ class ServiceDirectory {
   [[nodiscard]] Discovery discover(ServiceId service, net::PeerId from,
                                    const net::NetworkModel* net = nullptr,
                                    sim::SimTime now = sim::SimTime::zero()) const;
+
+  /// Allocation-aware variant of discover(): writes the candidates into
+  /// `out` (reusing its buffer) and returns the routing cost. With the
+  /// cache enabled, a hit copy-assigns into `out` — zero allocation once
+  /// `out`'s capacity has plateaued. Results are identical to discover().
+  DiscoveryStats discover_into(ServiceId service, net::PeerId from,
+                               const net::NetworkModel* net, sim::SimTime now,
+                               std::vector<InstanceId>& out) const;
 
   /// Enables the TTL'd discovery cache (zero, the default, disables it —
   /// accounting is then byte-identical to a cacheless directory).

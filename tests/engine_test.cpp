@@ -1,0 +1,310 @@
+// The sim-free serving facade (qsa::engine): parity between the
+// simulator-driven adapter and a standalone engine over the same world,
+// determinism of the batched shard loop, and the ManualClock / discovery-
+// cache TTL seam.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "qsa/engine/clock.hpp"
+#include "qsa/engine/engine.hpp"
+#include "qsa/engine/serve.hpp"
+#include "qsa/harness/config.hpp"
+#include "qsa/harness/grid.hpp"
+#include "qsa/probe/resolution.hpp"
+#include "qsa/registry/directory.hpp"
+#include "qsa/util/rng.hpp"
+#include "qsa/workload/apps.hpp"
+
+namespace qsa::engine {
+namespace {
+
+using sim::SimTime;
+
+harness::GridConfig small_config(std::uint64_t seed) {
+  harness::GridConfig c;
+  c.seed = seed;
+  c.peers = 200;
+  c.min_providers = 10;
+  c.max_providers = 20;
+  c.apps.applications = 5;
+  return c;
+}
+
+/// The bench's request-pool recipe: the simulator workload's fire() shape
+/// (app, QoS level, requester, duration) on an independent RNG stream.
+std::vector<core::ServiceRequest> make_pool(harness::GridSimulation& grid,
+                                            std::uint64_t seed,
+                                            std::size_t shard,
+                                            std::size_t count) {
+  util::Rng rng(util::derive_seed(seed, "serve-requests", shard));
+  const auto& alive = grid.peers().alive_ids();
+  const auto apps = grid.apps().apps();
+  std::vector<core::ServiceRequest> pool;
+  pool.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const workload::Application& app = apps[rng.index(apps.size())];
+    const auto level = static_cast<workload::QosLevel>(rng.index(3));
+    core::ServiceRequest req;
+    req.requester = alive[rng.index(alive.size())];
+    req.abstract_path = app.path;
+    req.requirement = workload::requirement_for(level, grid.universe());
+    req.session_duration = SimTime::minutes(rng.uniform(1.0, 60.0));
+    pool.push_back(std::move(req));
+  }
+  return pool;
+}
+
+/// A standalone serving shard over a grid's shared world: its own directory
+/// view (keys seeded with the grid's "directory" label so they match what
+/// bootstrap published into the ring), neighbor tables, ManualClock, and
+/// engine.
+struct Shard {
+  Shard(harness::GridSimulation& grid, const EngineConfig& ec)
+      : directory(util::derive_seed(grid.config().seed, "directory", 0),
+                  grid.ring(), grid.catalog()),
+        neighbors(grid.config().probe_budget, grid.config().neighbor_ttl) {
+    EngineDeps deps;
+    deps.catalog = &grid.catalog();
+    deps.placement = &grid.placement();
+    deps.directory = &directory;
+    deps.peers = &grid.peers();
+    deps.net = &grid.network();
+    deps.neighbors = &neighbors;
+    deps.clock = &clock;
+    engine = std::make_unique<ServingEngine>(ec, deps);
+  }
+
+  registry::ServiceDirectory directory;
+  probe::NeighborResolution neighbors;
+  ManualClock clock;
+  std::unique_ptr<ServingEngine> engine;
+};
+
+/// Mirrors the grid's EngineConfig so a standalone engine replays the
+/// adapter's exact algorithm stream.
+EngineConfig grid_engine_config(const harness::GridConfig& cfg) {
+  EngineConfig ec;
+  ec.seed = cfg.seed;
+  ec.algorithm = cfg.algorithm;
+  ec.qsa_options = cfg.qsa_options;
+  ec.bandwidth_weight = cfg.bandwidth_weight;
+  ec.compose_caches = cfg.compose_caches;
+  ec.discovery_cache_ttl = cfg.discovery_cache_ttl;
+  return ec;
+}
+
+void expect_plans_equal(const core::AggregationPlan& a,
+                        const core::AggregationPlan& b) {
+  EXPECT_EQ(a.failure, b.failure);
+  EXPECT_EQ(a.instances, b.instances);
+  EXPECT_EQ(a.hosts, b.hosts);
+  EXPECT_DOUBLE_EQ(a.composition_cost, b.composition_cost);
+  EXPECT_EQ(a.lookup_hops, b.lookup_hops);
+  EXPECT_EQ(a.setup_latency, b.setup_latency);
+  EXPECT_EQ(a.random_fallback_hops, b.random_fallback_hops);
+}
+
+void expect_stats_equal(const ServeStats& a, const ServeStats& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.fail_discovery, b.fail_discovery);
+  EXPECT_EQ(a.fail_composition, b.fail_composition);
+  EXPECT_EQ(a.fail_selection, b.fail_selection);
+  EXPECT_EQ(a.lookup_hops, b.lookup_hops);
+  EXPECT_EQ(a.random_fallback_hops, b.random_fallback_hops);
+}
+
+// ------------------------------------------------------- sim/engine parity
+
+TEST(ServingEngine, StandaloneServeMatchesSimAdapter) {
+  // Two identically-seeded grids build byte-identical worlds. Routing one
+  // request stream through grid A's simulator adapter (submit_request) and
+  // the same stream through a standalone engine over grid B's world must
+  // produce field-identical plans: the facade has no hidden dependence on
+  // the simulator.
+  const auto cfg = small_config(7);
+  harness::GridSimulation grid_a(cfg);
+  harness::GridSimulation grid_b(cfg);
+  Shard shard(grid_b, grid_engine_config(cfg));
+
+  const auto pool = make_pool(grid_a, cfg.seed, 0, 64);
+  int succeeded = 0;
+  for (const auto& req : pool) {
+    const auto sim_plan = grid_a.submit_request(req);
+    const auto eng_plan = shard.engine->serve(req);
+    expect_plans_equal(sim_plan, eng_plan);
+    succeeded += sim_plan.ok();
+  }
+  EXPECT_GT(succeeded, 0) << "parity over failures only is vacuous";
+}
+
+TEST(ServingEngine, ServeIntoMatchesServeAndReusesBuffers) {
+  const auto cfg = small_config(11);
+  harness::GridSimulation grid(cfg);
+  Shard a(grid, grid_engine_config(cfg));
+  Shard b(grid, grid_engine_config(cfg));
+
+  core::AggregationPlan reused;
+  for (const auto& req : make_pool(grid, cfg.seed, 0, 32)) {
+    const auto fresh = a.engine->serve(req);
+    b.engine->serve_into(req, reused);  // one plan object across all calls
+    expect_plans_equal(fresh, reused);
+  }
+}
+
+// --------------------------------------------------------- shard loop
+
+TEST(ServeLoop, ShardLoopIsDeterministic) {
+  const auto cfg = small_config(13);
+  harness::GridSimulation grid(cfg);
+
+  const auto run = [&]() {
+    Shard shard(grid, grid_engine_config(cfg));
+    const auto pool = make_pool(grid, cfg.seed, 0, 64);
+    ShardLoop loop;
+    loop.engine = shard.engine.get();
+    loop.clock = &shard.clock;
+    loop.pool = pool;
+    loop.warmup = 32;
+    loop.requests = 256;
+    loop.batch = 16;
+    loop.tick = SimTime::seconds(1);
+    return serve_shard(loop);
+  };
+
+  const ServeStats first = run();
+  const ServeStats second = run();
+  EXPECT_EQ(first.requests, 256u);
+  expect_stats_equal(first, second);
+}
+
+TEST(ServeLoop, SingleShardParallelMatchesSerial) {
+  const auto cfg = small_config(17);
+  harness::GridSimulation grid(cfg);
+  Shard serial(grid, grid_engine_config(cfg));
+  Shard threaded(grid, grid_engine_config(cfg));
+  const auto pool = make_pool(grid, cfg.seed, 0, 64);
+
+  const auto make_loop = [&](Shard& shard) {
+    ShardLoop loop;
+    loop.engine = shard.engine.get();
+    loop.clock = &shard.clock;
+    loop.pool = pool;
+    loop.warmup = 16;
+    loop.requests = 128;
+    loop.batch = 8;
+    return loop;
+  };
+
+  const ServeStats direct = serve_shard(make_loop(serial));
+  const ShardLoop loops[] = {make_loop(threaded)};
+  int steady_calls = 0;
+  const ServeStats parallel =
+      serve_parallel(loops, [&]() noexcept { ++steady_calls; });
+  EXPECT_EQ(steady_calls, 1);
+  expect_stats_equal(direct, parallel);
+}
+
+TEST(ServeStats, CountClassifiesAndMergeAdds) {
+  core::AggregationPlan plan;
+  plan.lookup_hops = 3;
+  plan.random_fallback_hops = 1;
+  ServeStats s;
+  s.count(plan);  // kNone
+  plan.failure = core::FailureCause::kDiscovery;
+  s.count(plan);
+  plan.failure = core::FailureCause::kComposition;
+  s.count(plan);
+  plan.failure = core::FailureCause::kSelection;
+  s.count(plan);
+  EXPECT_EQ(s.requests, 4u);
+  EXPECT_EQ(s.ok, 1u);
+  EXPECT_EQ(s.fail_discovery, 1u);
+  EXPECT_EQ(s.fail_composition, 1u);
+  EXPECT_EQ(s.fail_selection, 1u);
+  EXPECT_EQ(s.lookup_hops, 12u);
+  EXPECT_EQ(s.random_fallback_hops, 4u);
+  EXPECT_DOUBLE_EQ(s.success_ratio(), 0.25);
+
+  ServeStats merged = s;
+  merged.merge(s);
+  EXPECT_EQ(merged.requests, 8u);
+  EXPECT_EQ(merged.ok, 2u);
+  EXPECT_EQ(merged.lookup_hops, 24u);
+}
+
+// ------------------------------------------------- ManualClock / TTL seam
+
+TEST(ManualClock, StartsAtZeroAndAdvances) {
+  ManualClock clock;
+  EXPECT_EQ(clock.now(), SimTime::zero());
+  clock.advance(SimTime::seconds(5));
+  EXPECT_EQ(clock.now(), SimTime::seconds(5));
+  clock.set(SimTime::minutes(1));
+  EXPECT_EQ(clock.now(), SimTime::minutes(1));
+  clock.advance(SimTime::zero());  // zero advance is a no-op, not an error
+  EXPECT_EQ(clock.now(), SimTime::minutes(1));
+}
+
+TEST(ServingEngine, ManualClockExpiresDiscoveryCache) {
+  const auto cfg = small_config(19);
+  harness::GridSimulation grid(cfg);
+  auto ec = grid_engine_config(cfg);
+  ec.discovery_cache_ttl = SimTime::minutes(5);
+  Shard shard(grid, ec);
+
+  // Find a request whose discovery actually routes the ring (and succeeds
+  // end to end, so every layer of the path got cached).
+  const auto pool = make_pool(grid, cfg.seed, 0, 64);
+  const core::ServiceRequest* req = nullptr;
+  core::AggregationPlan first;
+  for (const auto& candidate : pool) {
+    first = shard.engine->serve(candidate);
+    if (first.ok() && first.lookup_hops > 0) {
+      req = &candidate;
+      break;
+    }
+  }
+  ASSERT_NE(req, nullptr) << "no request exercised ring routing";
+
+  // Within the TTL every lookup is a cache hit: zero ring hops.
+  const auto cached = shard.engine->serve(*req);
+  EXPECT_EQ(cached.lookup_hops, 0);
+  EXPECT_EQ(cached.failure, first.failure);
+
+  // Past the TTL the engine's clock drives expiry and the ring is routed
+  // again.
+  shard.clock.advance(SimTime::minutes(6));
+  const auto expired = shard.engine->serve(*req);
+  EXPECT_GT(expired.lookup_hops, 0);
+}
+
+// ------------------------------------------------------------- surface
+
+TEST(EngineSurface, HarnessAliasesEngineAlgorithmKind) {
+  static_assert(
+      std::is_same_v<harness::AlgorithmKind, AlgorithmKind>,
+      "the harness must reuse the engine's enum, not mirror it");
+  EXPECT_EQ(to_string(AlgorithmKind::kQsa), "qsa");
+  EXPECT_EQ(to_string(AlgorithmKind::kRandom), "random");
+  EXPECT_EQ(to_string(AlgorithmKind::kFixed), "fixed");
+}
+
+TEST(EngineSurface, ComposeCacheFollowsConfig) {
+  const auto cfg = small_config(23);
+  harness::GridSimulation grid(cfg);
+
+  auto ec = grid_engine_config(cfg);
+  Shard with_cache(grid, ec);
+  EXPECT_NE(with_cache.engine->compose_cache(), nullptr);
+
+  ec.compose_caches = false;
+  Shard without_cache(grid, ec);
+  EXPECT_EQ(without_cache.engine->compose_cache(), nullptr);
+}
+
+}  // namespace
+}  // namespace qsa::engine

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
+#include <utility>
 
 #include "qsa/net/network.hpp"
 #include "qsa/net/peer.hpp"
@@ -268,6 +271,60 @@ TEST(NetworkModel, ReserveAndRelease) {
   EXPECT_FALSE(net.try_reserve(0, b, cap, SimTime::zero()));
   net.release(0, b, 4000, SimTime::zero());
   EXPECT_DOUBLE_EQ(net.available_kbps(0, b), cap);
+}
+
+TEST(NetworkModel, ReleaseRoundTripsWithoutDrift) {
+  // Regression for the reservation-ledger float-drift bug: summing and
+  // subtracting non-representable kbps values in different orders leaves a
+  // +/- 1 ulp residue per cycle. At loopback magnitudes (1e9 kbps, ulp
+  // ~1e-7) the residue routinely exceeded the old absolute [-1e-9, 0) snap
+  // window, so negative residue accumulated across cycles — the ledger
+  // went negative (phantom capacity) and tripped QSA_ENSURES. The fix
+  // snaps any negative residue within a *relative* tolerance of zero.
+  NetworkModel net(1, clock30());
+  const PeerId p = 5;  // loopback: capacity >= 1e9, always admits
+  const double cap = net.capacity_kbps(p, p);
+  // These divisors make the add/subtract order below cancel imperfectly:
+  // each cycle ends ~3e-8 below zero in pure double arithmetic (ulp of
+  // 1e9 is ~1.2e-7), well outside the old snap window.
+  const double a = cap / 3.0, b = cap / 17.0, c = cap / 19.0;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(net.try_reserve(p, p, a, SimTime::zero()));
+    ASSERT_TRUE(net.try_reserve(p, p, b, SimTime::zero()));
+    net.release(p, p, a, SimTime::zero());
+    ASSERT_TRUE(net.try_reserve(p, p, c, SimTime::zero()));
+    net.release(p, p, c, SimTime::zero());
+    net.release(p, p, b, SimTime::zero());
+    const double reserved = cap - net.available_kbps(p, p);
+    // Never negative (no phantom bandwidth) ...
+    EXPECT_GE(reserved, 0.0) << "cycle " << i;
+    // ... and any positive residue stays a few ulp, not an accumulation.
+    EXPECT_LE(reserved, 1e-3) << "cycle " << i;
+  }
+}
+
+TEST(NetworkModel, PairKeyIsSymmetricAndInjective) {
+  // The undirected-pair ledger key must be order-free and collision-free,
+  // including at the top of the 32-bit PeerId range (a widened PeerId
+  // without a widened key would silently alias distinct links; a
+  // static_assert in pair_key guards the width at compile time).
+  const PeerId ids[] = {0, 1, 2, 100, 65'535, 65'536,
+                        0xFFFF'FFFEu, 0xFFFF'FFFFu};
+  std::map<std::uint64_t, std::pair<PeerId, PeerId>> seen;
+  for (PeerId a : ids) {
+    for (PeerId b : ids) {
+      const std::uint64_t key = NetworkModel::pair_key(a, b);
+      EXPECT_EQ(key, NetworkModel::pair_key(b, a));
+      const std::pair<PeerId, PeerId> canonical{std::min(a, b),
+                                                std::max(a, b)};
+      const auto [it, inserted] = seen.emplace(key, canonical);
+      if (!inserted) {
+        EXPECT_EQ(it->second, canonical)
+            << "pair_key collision: {" << a << "," << b << "} vs {"
+            << it->second.first << "," << it->second.second << "}";
+      }
+    }
+  }
 }
 
 TEST(NetworkModel, ReservationIsDirectionless) {

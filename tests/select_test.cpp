@@ -277,6 +277,64 @@ TEST_F(SelectFixture, ReservoirAblationPickIsDeterministic) {
   EXPECT_EQ(sel.peer, expected);
 }
 
+TEST_F(SelectFixture, RelaxedPassReplaysFilterOffRngStream) {
+  // select_hop runs the qualification ladder as at most two passes over one
+  // shared body (filter_pass): uptime filter on, then — only if that found
+  // nobody AND the filter is enabled — a relaxed pass without it. With the
+  // filter ablated there is exactly one pass, not a redundant second. Pin
+  // the equivalence where it is observable: in reservoir mode the relaxed
+  // pass must consume the *same* RNG draws as a filter-off single pass, so
+  // identically-seeded RNGs pick the same peer and land in the same state.
+  PeerSelector with_filter(qos::TupleWeights({0.5, 0.5}, 0.0),
+                           qos::ResourceSchema::paper(),
+                           SelectorOptions{.use_phi_ranking = false});
+  PeerSelector no_filter(qos::TupleWeights({0.5, 0.5}, 0.0),
+                         qos::ResourceSchema::paper(),
+                         SelectorOptions{.use_uptime_filter = false,
+                                         .use_phi_ranking = false});
+  const auto inst = make_instance(50, 50, 50);
+  // All candidates too young for a 30-minute session: the filtered pass
+  // qualifies nobody (and draws nothing), forcing the relaxed pass.
+  std::vector<PeerId> candidates;
+  for (int i = 0; i < 8; ++i) candidates.push_back(add_candidate(900, 2));
+
+  util::Rng filtered_rng(99), unfiltered_rng(99);
+  const auto filtered = with_filter.select_hop(
+      peers, net, table, me, inst, candidates, SimTime::minutes(30),
+      SimTime::zero(), filtered_rng);
+  const auto unfiltered = no_filter.select_hop(
+      peers, net, table, me, inst, candidates, SimTime::minutes(30),
+      SimTime::zero(), unfiltered_rng);
+  ASSERT_TRUE(filtered.ok());
+  ASSERT_TRUE(unfiltered.ok());
+  EXPECT_EQ(filtered.peer, unfiltered.peer);
+  // Same number of draws consumed: the streams stay in lockstep.
+  EXPECT_EQ(filtered_rng.index(1'000'000), unfiltered_rng.index(1'000'000));
+}
+
+TEST_F(SelectFixture, ScratchReuseDoesNotLeakAcrossCalls) {
+  // The selector keeps grow-only scratch (known/unknown partitions) across
+  // calls; interleaving differently-sized candidate sets must not change
+  // any later selection.
+  const auto inst = make_instance(50, 50, 50);
+  const auto big = add_candidate(900, 100);
+  const auto mid = add_candidate(600, 100);
+  const auto small = add_candidate(300, 100);
+  const std::vector<PeerId> trio{big, mid, small};
+  const auto first = select(inst, trio);
+  ASSERT_TRUE(first.ok());
+
+  // Dirty the scratch with a smaller set, then a larger one.
+  (void)select(inst, {small});
+  std::vector<PeerId> many = trio;
+  for (int i = 0; i < 5; ++i) many.push_back(add_candidate(400, 100));
+  (void)select(inst, many);
+
+  const auto again = select(inst, trio);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.peer, first.peer);
+}
+
 TEST_F(SelectFixture, DeterministicTieBreakByPeerId) {
   const auto inst = make_instance(50, 50, 50);
   // Identical capacity and age; Phi differs only via pair bandwidth, so pick

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Gate on the serving-mode throughput measured by
+bench/bench_serve_throughput.
+
+Reads the bench's --json-out report and fails unless, on every thread
+count:
+
+  * QPS floor: sustained compose+select throughput >= --min-qps (default
+    5000 — intentionally loose for noisy shared runners; the gate exists
+    to catch the hot path falling off a cliff, not to certify
+    quiet-machine numbers);
+  * zero steady-state allocations: the operator-new hook counted at most
+    --max-allocs (default 0) heap allocations across all shard threads
+    between the warmup barrier and the last counted request. This is the
+    structural property the engine refactor pins: a warm, frozen-clock
+    shard serves entirely out of grow-only scratch, the discovery cache,
+    and the neighbor tables;
+  * sanity: every cell actually served requests and succeeded on
+    >= --min-success of them (default 0.5 — a misbuilt world serves
+    nothing but still posts a huge QPS).
+
+Usage:
+    bench_serve_throughput --json-out=BENCH_serve.json
+    python3 tools/check_serve_throughput.py BENCH_serve.json \
+        [--min-qps=5000] [--max-allocs=0] [--min-success=0.5] \
+        [--json-out=FILE]
+"""
+
+import argparse
+import json
+import sys
+
+from gate_common import add_json_out_arg, write_json_out
+
+GATE = "check_serve_throughput"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="bench_serve_throughput --json-out "
+                        "report")
+    parser.add_argument("--min-qps", type=float, default=5000,
+                        help="QPS floor per thread-count cell (default 5000)")
+    parser.add_argument("--max-allocs", type=int, default=0,
+                        help="max steady-state heap allocations per cell "
+                             "(default 0)")
+    parser.add_argument("--min-success", type=float, default=0.5,
+                        help="min success ratio per cell (default 0.5)")
+    add_json_out_arg(parser)
+    opts = parser.parse_args()
+    thresholds = {"min_qps": opts.min_qps, "max_allocs": opts.max_allocs,
+                  "min_success": opts.min_success}
+
+    with open(opts.report, encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    cells = report.get("cells", [])
+    if not cells:
+        print("error: report has no cells — was bench_serve_throughput run "
+              "with --json-out?", file=sys.stderr)
+        write_json_out(opts.json_out, GATE, False, 2, thresholds,
+                       {"cells": 0})
+        return 2
+    required = ("threads", "qps", "requests", "success_ratio",
+                "steady_allocs")
+    missing = sorted({key for cell in cells for key in required
+                      if key not in cell})
+    if missing:
+        print(f"error: report cells are missing field(s) "
+              f"{', '.join(missing)}", file=sys.stderr)
+        write_json_out(opts.json_out, GATE, False, 2, thresholds,
+                       {"missing": missing})
+        return 2
+
+    failures = []
+    measured = {"cells": []}
+    for cell in cells:
+        threads = cell["threads"]
+        measured["cells"].append(
+            {"threads": threads, "qps": cell["qps"],
+             "success_ratio": cell["success_ratio"],
+             "steady_allocs": cell["steady_allocs"],
+             "p50_us": cell.get("p50_us"), "p99_us": cell.get("p99_us")})
+        print(f"threads={threads}: {cell['qps']:.0f} QPS over "
+              f"{cell['requests']} requests, psi={cell['success_ratio']:.4f},"
+              f" p50={cell.get('p50_us', 0):.1f}us "
+              f"p99={cell.get('p99_us', 0):.1f}us, "
+              f"steady allocs={cell['steady_allocs']}")
+        if cell["requests"] <= 0:
+            failures.append(f"threads={threads}: no requests served")
+        if cell["qps"] < opts.min_qps:
+            failures.append(f"threads={threads}: {cell['qps']:.0f} QPS < "
+                            f"floor {opts.min_qps:.0f}")
+        if cell["steady_allocs"] > opts.max_allocs:
+            failures.append(f"threads={threads}: {cell['steady_allocs']} "
+                            f"steady-state allocation(s) > "
+                            f"{opts.max_allocs} — the hot path regressed")
+        if cell["success_ratio"] < opts.min_success:
+            failures.append(f"threads={threads}: success ratio "
+                            f"{cell['success_ratio']:.3f} < "
+                            f"{opts.min_success:.2f}")
+
+    ok = not failures
+    write_json_out(opts.json_out, GATE, ok, 0 if ok else 1, thresholds,
+                   measured)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not ok:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
