@@ -1,0 +1,234 @@
+// Scaling curve (DESIGN.md §14): one grid cell per population size N, each
+// run in its own forked child so peak RSS is a per-cell measurement rather
+// than the max over the whole sweep. Per-peer load is held constant —
+// request and churn rates scale with N/10^4 — so the curve isolates how the
+// *infrastructure* (bootstrap, peer table, reservation ledger, obs export)
+// grows with population, which is what the million-peer work optimizes.
+//
+// Reported per cell: bootstrap/run wall ms (GridConfig::profile), peak RSS
+// (VmHWM), psi, requests, the reservation ledger's live footprint
+// (active_pairs) vs its monotone touched-pair counter, and the peer table's
+// resident slot count. tools/check_scaling.py gates CI on the wall ceiling
+// and on RSS growing no faster than the population does.
+//
+// Flags: --ns=N1,N2,...   populations (default 10000,100000,1000000)
+//        --minutes=M      horizon per cell (default 10)
+//        --rate=R         requests/min at N=10^4; scaled by N/10^4
+//        --churn=C        churn events/min at N=10^4; scaled by N/10^4
+//        --net-model=K    paper | coords (default coords: O(N) state)
+//        --seed=S, --json-out=FILE, --csv
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "qsa/harness/grid.hpp"
+#include "qsa/metrics/table.hpp"
+#include "qsa/util/flags.hpp"
+
+namespace {
+
+using namespace qsa;
+
+struct CellResult {
+  unsigned long long peers = 0;
+  double bootstrap_ms = 0;
+  double run_ms = 0;
+  unsigned long long rss_kb = 0;  ///< peak resident set (VmHWM)
+  double psi = 0;
+  unsigned long long requests = 0;
+  unsigned long long active_pairs = 0;   ///< live ledger entries at horizon
+  unsigned long long touched_pairs = 0;  ///< monotone distinct-pair counter
+  unsigned long long resident_slots = 0; ///< peer-table slots still resident
+};
+
+/// Peak resident set of this process in kB: VmHWM from /proc/self/status,
+/// falling back to getrusage (also kB on Linux).
+unsigned long long peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line.c_str(), "VmHWM: %llu kB", &kb) == 1) return kb;
+  }
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<unsigned long long>(ru.ru_maxrss);
+}
+
+harness::GridConfig make_config(std::size_t n, double minutes,
+                                double base_rate, double base_churn,
+                                net::NetModelKind model, std::uint64_t seed) {
+  harness::GridConfig cfg;
+  cfg.seed = seed;
+  cfg.peers = n;
+  cfg.net_model = model;
+  const double factor = static_cast<double>(n) / 1e4;
+  cfg.requests.rate_per_min = base_rate * factor;
+  cfg.churn.events_per_min = base_churn * factor;
+  cfg.horizon = sim::SimTime::minutes(minutes);
+  cfg.profile = true;
+  return cfg;
+}
+
+/// Runs one cell in the calling (child) process and writes the measurement
+/// line to `fd`.
+void run_cell_child(const harness::GridConfig& cfg, int fd) {
+  harness::GridSimulation grid(cfg);
+  const auto r = grid.run();
+  const auto& prof = grid.profile_report();
+  dprintf(fd, "%llu %.3f %.3f %llu %.6f %llu %llu %llu %llu\n",
+          static_cast<unsigned long long>(cfg.peers), prof.bootstrap_ms,
+          prof.run_ms, peak_rss_kb(), r.success_ratio(),
+          static_cast<unsigned long long>(r.requests),
+          static_cast<unsigned long long>(grid.network().active_pairs()),
+          static_cast<unsigned long long>(grid.network().touched_pairs()),
+          static_cast<unsigned long long>(grid.peers().resident_slots()));
+}
+
+bool run_cell(const harness::GridConfig& cfg, CellResult& out) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::perror("pipe");
+    return false;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return false;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    run_cell_child(cfg, fds[1]);
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  FILE* in = fdopen(fds[0], "r");
+  const int parsed =
+      in == nullptr
+          ? 0
+          : std::fscanf(in, "%llu %lf %lf %llu %lf %llu %llu %llu %llu",
+                        &out.peers, &out.bootstrap_ms, &out.run_ms,
+                        &out.rss_kb, &out.psi, &out.requests,
+                        &out.active_pairs, &out.touched_pairs,
+                        &out.resident_slots);
+  if (in != nullptr) std::fclose(in);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "cell N=%zu: child failed (status %d)\n", cfg.peers,
+                 status);
+    return false;
+  }
+  return parsed == 9;
+}
+
+std::vector<std::size_t> parse_ns(const std::string& list) {
+  std::vector<std::size_t> ns;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t next = list.find(',', pos);
+    if (next == std::string::npos) next = list.size();
+    const std::string tok = list.substr(pos, next - pos);
+    if (!tok.empty()) ns.push_back(std::stoull(tok));
+    pos = next + 1;
+  }
+  return ns;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto ns = parse_ns(flags.get("ns", "10000,100000,1000000"));
+  const double minutes = flags.get_double("minutes", 10);
+  const double base_rate = flags.get_double("rate", 100);
+  const double base_churn = flags.get_double("churn", 10);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const std::string model_name = flags.get("net-model", "coords");
+  const std::string json_out = flags.get("json-out", "");
+  const bool csv = flags.get_bool("csv", false);
+  net::NetModelKind model = net::NetModelKind::kCoords;
+  if (!harness::parse_net_model(model_name, model)) {
+    std::fprintf(stderr, "unknown --net-model '%s'\n", model_name.c_str());
+    return 2;
+  }
+  util::reject_unknown_flags(flags, "bench_scaling_curve");
+  if (ns.empty()) {
+    std::fprintf(stderr, "--ns must name at least one population\n");
+    return 2;
+  }
+
+  std::printf("=== Scaling curve: wall/RSS/footprints vs population ===\n");
+  std::printf("net model %s, %.4g min horizon, %.4g req/min and %.4g "
+              "churn/min per 10^4 peers, seed %llu\n\n",
+              model_name.c_str(), minutes, base_rate, base_churn,
+              static_cast<unsigned long long>(seed));
+
+  std::vector<CellResult> cells;
+  for (const std::size_t n : ns) {
+    const auto cfg =
+        make_config(n, minutes, base_rate, base_churn, model, seed);
+    CellResult cell;
+    if (!run_cell(cfg, cell)) return 1;
+    std::printf("N=%-9llu bootstrap %9.1f ms  run %9.1f ms  rss %8llu kB  "
+                "psi %.3f\n",
+                cell.peers, cell.bootstrap_ms, cell.run_ms, cell.rss_kb,
+                cell.psi);
+    cells.push_back(cell);
+  }
+  std::printf("\n");
+
+  metrics::Table table({"peers", "bootstrap_ms", "run_ms", "rss_kb", "psi",
+                        "requests", "active_pairs", "touched_pairs",
+                        "resident_slots"});
+  for (const auto& c : cells) {
+    table.add_row({metrics::Table::num(static_cast<double>(c.peers), 0),
+                   metrics::Table::num(c.bootstrap_ms, 1),
+                   metrics::Table::num(c.run_ms, 1),
+                   metrics::Table::num(static_cast<double>(c.rss_kb), 0),
+                   metrics::Table::num(c.psi, 3),
+                   metrics::Table::num(static_cast<double>(c.requests), 0),
+                   metrics::Table::num(static_cast<double>(c.active_pairs), 0),
+                   metrics::Table::num(static_cast<double>(c.touched_pairs), 0),
+                   metrics::Table::num(static_cast<double>(c.resident_slots),
+                                       0)});
+  }
+  table.print(std::cout);
+  if (csv) {
+    std::printf("\n--- CSV ---\n");
+    table.print_csv(std::cout);
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open --json-out file %s\n",
+                   json_out.c_str());
+      return 1;
+    }
+    os << "{\"bench\":\"bench_scaling_curve\",\"net_model\":\"" << model_name
+       << "\",\"minutes\":" << minutes << ",\"seed\":" << seed
+       << ",\"cells\":[";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto& c = cells[i];
+      if (i > 0) os << ',';
+      os << "{\"peers\":" << c.peers << ",\"bootstrap_ms\":" << c.bootstrap_ms
+         << ",\"run_ms\":" << c.run_ms << ",\"rss_kb\":" << c.rss_kb
+         << ",\"psi\":" << c.psi << ",\"requests\":" << c.requests
+         << ",\"active_pairs\":" << c.active_pairs
+         << ",\"touched_pairs\":" << c.touched_pairs
+         << ",\"resident_slots\":" << c.resident_slots << '}';
+    }
+    os << "]}\n";
+    std::printf("\njson report -> %s\n", json_out.c_str());
+  }
+  return 0;
+}

@@ -28,6 +28,10 @@ void print_usage() {
       "  --minutes=M        simulated horizon (default 60)\n"
       "  --algorithm=A      qsa | random | fixed (default qsa)\n"
       "  --overlay=O        chord | can | pastry (default chord)\n"
+      "  --net-model=N      paper | coords (default paper). coords derives\n"
+      "                     latency/bandwidth from per-peer synthetic\n"
+      "                     coordinates — same marginals, O(peers) state —\n"
+      "                     for million-peer runs\n"
       "  --churn=C          churn events/min (default 0)\n"
       "  --recovery         enable mid-session departure recovery\n"
       "  --retries=K        admission retries (default 0)\n"
@@ -137,6 +141,11 @@ int main(int argc, char** argv) {
     cfg.algorithm = harness::AlgorithmKind::kFixed;
   } else {
     std::printf("unknown --algorithm '%s'\n", algo.c_str());
+    return 1;
+  }
+  const std::string net_model = flags.get("net-model", "paper");
+  if (!harness::parse_net_model(net_model, cfg.net_model)) {
+    std::printf("unknown --net-model '%s'\n", net_model.c_str());
     return 1;
   }
   const std::string overlay = flags.get("overlay", "chord");

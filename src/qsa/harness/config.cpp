@@ -19,6 +19,18 @@ std::string_view to_string(OverlayKind kind) {
   return "?";
 }
 
+bool parse_net_model(std::string_view name, net::NetModelKind& out) {
+  if (name == "paper") {
+    out = net::NetModelKind::kPaper;
+    return true;
+  }
+  if (name == "coords") {
+    out = net::NetModelKind::kCoords;
+    return true;
+  }
+  return false;
+}
+
 void GridConfig::scale(double factor) {
   QSA_EXPECTS(factor > 0);
   peers = std::max<std::size_t>(

@@ -9,6 +9,7 @@
 #include "qsa/core/aggregate.hpp"
 #include "qsa/engine/engine.hpp"
 #include "qsa/fault/fault.hpp"
+#include "qsa/net/network.hpp"
 #include "qsa/replica/config.hpp"
 #include "qsa/sim/time.hpp"
 #include "qsa/workload/apps.hpp"
@@ -29,6 +30,10 @@ enum class OverlayKind : std::uint8_t { kChord, kCan, kPastry };
 
 [[nodiscard]] std::string_view to_string(OverlayKind kind);
 
+/// Parses "paper"/"coords" into a NetModelKind; false on anything else.
+[[nodiscard]] bool parse_net_model(std::string_view name,
+                                   net::NetModelKind& out);
+
 struct GridConfig {
   std::uint64_t seed = 42;
 
@@ -37,6 +42,14 @@ struct GridConfig {
   double min_capacity = 100;           ///< per-kind units, paper: [100,100]
   double max_capacity = 1000;          ///< paper: [1000,1000]
   double max_initial_age_min = 180;    ///< pre-aged uptime at t=0
+
+  // --- network model ---
+  /// How pair latency/bandwidth derive from the seed: kPaper is the paper's
+  /// i.i.d. per-pair hash (the default; golden digests are pinned to it),
+  /// kCoords the synthetic-coordinate model (same marginals, geometric
+  /// latency locality, per-peer derivation — the million-peer mode). See
+  /// qsa/net/network.hpp and DESIGN.md §14.
+  net::NetModelKind net_model = net::NetModelKind::kPaper;
 
   // --- placement ---
   int min_providers = 40;              ///< paper: 40 peers per instance

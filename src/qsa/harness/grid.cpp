@@ -32,7 +32,8 @@ GridSimulation::GridSimulation(GridConfig config)
   const net::ProbeClock clock(config_.probe_period);
   peers_ = std::make_unique<net::PeerTable>(qos::ResourceSchema::paper(), clock);
   network_ = std::make_unique<net::NetworkModel>(
-      util::derive_seed(config_.seed, "network", 0), clock);
+      util::derive_seed(config_.seed, "network", 0), clock,
+      config_.net_model);
   switch (config_.overlay) {
     case OverlayKind::kChord:
       ring_ = std::make_unique<overlay::ChordRing>(
@@ -206,7 +207,11 @@ GridSimulation::GridSimulation(GridConfig config)
 GridSimulation::~GridSimulation() = default;
 
 void GridSimulation::bootstrap() {
-  // Peers, pre-aged so uptimes are meaningful at t = 0.
+  // Peers, pre-aged so uptimes are meaningful at t = 0. Deferred joins:
+  // nothing routes until the stabilize_all() below, which (re)builds every
+  // finger table wholesale — per-join finger computation would be thrown
+  // away, and skipping it roughly halves million-peer bootstrap.
+  peers_->reserve(config_.peers);
   for (std::size_t i = 0; i < config_.peers; ++i) {
     const double tier =
         grid_rng_.uniform(config_.min_capacity, config_.max_capacity);
@@ -214,7 +219,7 @@ void GridSimulation::bootstrap() {
     const net::PeerId id =
         peers_->add_peer(qos::ResourceVector{tier, tier},
                          sim::SimTime::minutes(-age_min));
-    ring_->join(id);
+    ring_->join_deferred(id);
   }
   ring_->stabilize_all();
 
@@ -629,7 +634,11 @@ GridResult GridSimulation::run() {
   result_.counters.add("sessions.recovered", manager_->stats().recovered);
   result_.counters.add("sessions.rejected", manager_->stats().rejected);
   result_.counters.add("events.executed", simulator_.executed_events());
-  result_.counters.add("net.active_pairs", network_->active_pairs());
+  // Historical name, monotone semantics: distinct pairs ever reserved.
+  // Reported via touched_pairs() so ledger eviction (a memory-footprint
+  // mechanism) cannot change exported output; the resident ledger size is
+  // NetworkModel::active_pairs(), which benches read directly.
+  result_.counters.add("net.active_pairs", network_->touched_pairs());
 
   // Replication / concentration accounting, gated like the fault counters:
   // untracked runs add no counter names.
@@ -679,7 +688,7 @@ GridResult GridSimulation::run() {
     metrics_->set("sim.event_queue_high_water",
                   static_cast<double>(simulator_.max_pending_events()));
     metrics_->set("net.active_pairs",
-                  static_cast<double>(network_->active_pairs()));
+                  static_cast<double>(network_->touched_pairs()));
     metrics_->add("churn.departures", result_.churn_departures);
     metrics_->add("churn.arrivals", result_.churn_arrivals);
     metrics_->add("session.admitted", manager_->stats().admitted);

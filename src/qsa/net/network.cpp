@@ -1,14 +1,50 @@
 #include "qsa/net/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "qsa/util/expects.hpp"
 #include "qsa/util/rng.hpp"
 
 namespace qsa::net {
+namespace {
 
-NetworkModel::NetworkModel(std::uint64_t seed, ProbeClock clock)
-    : seed_(seed), clock_(clock) {}
+// kCoords latency quantization: quantiles of the distance between two
+// uniform points in the unit square (exact closed-form CDF, bisected at
+// 0.2/0.4/0.6/0.8), so each of the five latency levels gets a ~20% pair
+// marginal — the paper's level-set distribution, now with geometric
+// structure. Distances below the first threshold are the closest fifth of
+// all pairs and map to 1 ms, the farthest fifth to 200 ms.
+constexpr double kDistQuantile[] = {0.2877359663, 0.4401475369, 0.5851348671,
+                                    0.7496696790};
+constexpr std::int64_t kCoordLatencyMs[] = {1, 20, 80, 150, 200};
+
+// kCoords access-tier CDF: P(tier <= k) = sqrt((k+1)/4). A pair's capacity
+// is the worse endpoint tier, so P(pair level <= k) = CDF^2 = (k+1)/4 —
+// exactly uniform over the paper's four bandwidth levels.
+constexpr double kTierCdf[] = {0.5, 0.70710678118654752, 0.86602540378443865};
+
+// Ledger entries at or below this are "settled": genuine reservations are
+// whole kbps, so anything this small is float residue the release snap
+// already treats as zero (see release()); evicting it heals, not loses,
+// up to 1e-6 kbps of phantom reservation.
+constexpr double kEvictResidueKbps = 1e-6;
+
+}  // namespace
+
+std::string_view to_string(NetModelKind kind) noexcept {
+  switch (kind) {
+    case NetModelKind::kPaper:
+      return "paper";
+    case NetModelKind::kCoords:
+      return "coords";
+  }
+  return "?";
+}
+
+NetworkModel::NetworkModel(std::uint64_t seed, ProbeClock clock,
+                           NetModelKind kind)
+    : seed_(seed), clock_(clock), kind_(kind) {}
 
 std::uint64_t NetworkModel::pair_key(PeerId a, PeerId b) noexcept {
   // The packing is collision-free only while a PeerId fits in the low half
@@ -28,20 +64,65 @@ std::uint64_t NetworkModel::pair_hash(PeerId a, PeerId b,
   return util::mix64(util::hash_combine(seed_ ^ purpose, pair_key(a, b)));
 }
 
+std::uint64_t NetworkModel::peer_hash(PeerId p,
+                                      std::uint64_t purpose) const noexcept {
+  return util::mix64(util::hash_combine(seed_ ^ purpose, p));
+}
+
+std::pair<double, double> NetworkModel::coordinate(PeerId p) const noexcept {
+  const std::uint64_t h = peer_hash(p, util::hash_str("coord"));
+  // Two uniforms in [0, 1) from the hash halves. 0x1p-32 keeps the mapping
+  // exact (no rounding ambiguity), hence bit-reproducible everywhere.
+  const double x = static_cast<double>(h >> 32) * 0x1p-32;
+  const double y = static_cast<double>(h & 0xffffffffu) * 0x1p-32;
+  return {x, y};
+}
+
+int NetworkModel::access_tier(PeerId p) const noexcept {
+  const std::uint64_t h = peer_hash(p, util::hash_str("tier"));
+  const double u = static_cast<double>(h >> 11) * 0x1p-53;
+  for (int k = 0; k < 3; ++k) {
+    if (u < kTierCdf[k]) return k;
+  }
+  return 3;
+}
+
 double NetworkModel::capacity_kbps(PeerId a, PeerId b) const {
-  if (a == b) return 1e9;  // loopback: effectively unconstrained
+  if (a == b) return kLoopbackKbps;  // loopback: effectively unconstrained
+  if (kind_ == NetModelKind::kCoords) {
+    // The bottleneck is the worse of the two access links.
+    return kBandwidthLevelsKbps[std::max(access_tier(a), access_tier(b))];
+  }
   constexpr std::size_t n = std::size(kBandwidthLevelsKbps);
   return kBandwidthLevelsKbps[pair_hash(a, b, util::hash_str("bw")) % n];
 }
 
 sim::SimTime NetworkModel::latency(PeerId a, PeerId b) const {
   if (a == b) return sim::SimTime::zero();
+  if (kind_ == NetModelKind::kCoords) {
+    const auto [xa, ya] = coordinate(a);
+    const auto [xb, yb] = coordinate(b);
+    const double dx = xa - xb;
+    const double dy = ya - yb;
+    // sqrt, not hypot: correctly rounded per IEEE-754, so the quantized
+    // level is identical on every libm.
+    const double d = std::sqrt(dx * dx + dy * dy);
+    std::size_t bucket = std::size(kDistQuantile);
+    for (std::size_t k = 0; k < std::size(kDistQuantile); ++k) {
+      if (d < kDistQuantile[k]) {
+        bucket = k;
+        break;
+      }
+    }
+    return sim::SimTime::millis(kCoordLatencyMs[bucket]);
+  }
   constexpr std::size_t n = std::size(kLatencyLevelsMs);
   return sim::SimTime::millis(
       kLatencyLevelsMs[pair_hash(a, b, util::hash_str("lat")) % n]);
 }
 
 double NetworkModel::available_kbps(PeerId a, PeerId b) const {
+  if (a == b) return kLoopbackKbps;  // never constrained, never ledgered
   const auto it = links_.find(pair_key(a, b));
   const double reserved = it == links_.end() ? 0.0 : it->second.live();
   return capacity_kbps(a, b) - reserved;
@@ -49,45 +130,86 @@ double NetworkModel::available_kbps(PeerId a, PeerId b) const {
 
 double NetworkModel::probed_available_kbps(PeerId a, PeerId b,
                                            sim::SimTime now) const {
+  if (a == b) return kLoopbackKbps;
   const auto it = links_.find(pair_key(a, b));
   const double reserved =
       it == links_.end() ? 0.0 : it->second.probed(clock_.epoch(now));
   return capacity_kbps(a, b) - reserved;
 }
 
+void NetworkModel::note_self_touch(PeerId p) {
+  if (p >= self_touched_.size()) self_touched_.resize(p + 1, false);
+  if (!self_touched_[p]) {
+    self_touched_[p] = true;
+    ++self_touched_count_;
+  }
+}
+
+void NetworkModel::maybe_sweep(std::int64_t epoch) {
+  if (epoch <= last_sweep_epoch_) return;
+  last_sweep_epoch_ = epoch;
+  if (links_.size() <= evict_floor_) return;
+  for (auto it = links_.begin(); it != links_.end();) {
+    // Settled: reservation back at (residue-of) zero and the snapshot older
+    // than the current epoch, so probed() and live() both read as
+    // unreserved — erasing the entry is invisible to every query.
+    if (it->second.live() <= kEvictResidueKbps &&
+        it->second.snapshot_epoch() < epoch) {
+      it = links_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 bool NetworkModel::try_reserve(PeerId a, PeerId b, double kbps,
                                sim::SimTime now) {
   QSA_EXPECTS(kbps >= 0);
+  if (a == b) {
+    // Loopback short-circuit: a peer streaming to itself never contends
+    // for WAN bandwidth. Admitting without a ledger entry also keeps the
+    // 1e9-kbps magnitudes out of the float cancel/snap path below (the
+    // source of PR 7's drift bug). The touch is still counted so the
+    // monotone touched_pairs() accounting matches the historical ledger.
+    if (kbps > kLoopbackKbps) return false;
+    note_self_touch(a);
+    return true;
+  }
+  const std::int64_t epoch = clock_.epoch(now);
+  maybe_sweep(epoch);
   if (kbps > available_kbps(a, b)) return false;
-  links_[pair_key(a, b)].mutate(clock_.epoch(now),
-                                [&](double& r) { r += kbps; });
+  const auto [it, inserted] = links_.try_emplace(pair_key(a, b));
+  if (inserted) ++touched_pairs_;
+  it->second.mutate(epoch, [&](double& r) { r += kbps; });
   return true;
 }
 
 void NetworkModel::release(PeerId a, PeerId b, double kbps, sim::SimTime now) {
   QSA_EXPECTS(kbps >= 0);
+  if (a == b) return;  // loopback reservations are never ledgered
+  const std::int64_t epoch = clock_.epoch(now);
+  maybe_sweep(epoch);
   auto it = links_.find(pair_key(a, b));
   QSA_EXPECTS(it != links_.end());
-  it->second.mutate(clock_.epoch(now), [&](double& r) {
+  it->second.mutate(epoch, [&](double& r) {
     const double before = r;
     r -= kbps;
     // Snap float residue to exactly zero. The tolerance scales with the
-    // magnitudes cancelled: releasing a multi-Mbps reservation (loopback
-    // pairs run at 1e9 kbps) leaves residue far above the old absolute
-    // 1e-9 window, which then accumulated across sessions into drift that
-    // available_kbps() reported as phantom reservation. Relative to
-    // double's 1e-16 precision, 1e-12 per unit magnitude is ~4 orders of
-    // headroom yet snaps only genuine residue, never a real remaining
-    // reservation. Positive residue is left untouched: it is
-    // indistinguishable from live concurrent reservations here, and decays
-    // the same way on their release.
+    // magnitudes cancelled: relative to double's 1e-16 precision, 1e-12 per
+    // unit magnitude is ~4 orders of headroom yet snaps only genuine
+    // residue, never a real remaining reservation. Positive residue is left
+    // untouched: it is indistinguishable from live concurrent reservations
+    // here, and decays the same way on their release (or is healed by the
+    // settled-entry sweep).
     const double tol = std::max(1e-9, 1e-12 * std::max(kbps, before));
     if (r < 0 && r >= -tol) r = 0;
   });
   QSA_ENSURES(it->second.live() > -1e-9);
-  // Entries are kept even at zero reservation: the epoch snapshot must stay
-  // visible until the next epoch; the map stays bounded by concurrent
-  // sessions in practice.
+  // The entry is kept for now even at zero reservation — its epoch snapshot
+  // must stay visible until the next epoch. maybe_sweep() evicts it on the
+  // first mutating call of a later epoch (once the ledger is above the
+  // eviction floor), so the map tracks concurrent sessions, not distinct
+  // pairs ever reserved.
 }
 
 }  // namespace qsa::net

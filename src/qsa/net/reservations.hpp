@@ -79,6 +79,14 @@ class Snapshotted {
   /// The ground-truth live value (what admission control checks).
   [[nodiscard]] const T& live() const noexcept { return live_; }
 
+  /// Epoch of the last saved snapshot (INT64_MIN when never mutated). Once
+  /// the current epoch moves past it, probed() and live() agree — the state
+  /// has no observer-visible history left, which is what lets the network
+  /// ledger evict settled entries.
+  [[nodiscard]] std::int64_t snapshot_epoch() const noexcept {
+    return snap_epoch_;
+  }
+
  private:
   T live_{};
   T snap_{};

@@ -29,19 +29,40 @@ bool ChordRing::contains(net::PeerId peer) const {
 }
 
 void ChordRing::compute_fingers(ChordKey at, Node& node) const {
-  node.fingers.resize(kKeyBits);
   for (int i = 0; i < kKeyBits; ++i) {
     const ChordKey target = at + (ChordKey{1} << i);  // wraps mod 2^64
     node.fingers[static_cast<std::size_t>(i)] = successor(target)->first;
   }
 }
 
-void ChordRing::join(net::PeerId peer) {
+void ChordRing::compute_fingers_sorted(const std::vector<ChordKey>& keys,
+                                       ChordKey at, Node& node) {
+  QSA_EXPECTS(!keys.empty());
+  for (int i = 0; i < kKeyBits; ++i) {
+    const ChordKey target = at + (ChordKey{1} << i);  // wraps mod 2^64
+    const auto it = std::lower_bound(keys.begin(), keys.end(), target);
+    // Same wrap rule as successor(): past the end means the first node.
+    node.fingers[static_cast<std::size_t>(i)] =
+        it == keys.end() ? keys.front() : *it;
+  }
+}
+
+void ChordRing::snapshot_keys(std::vector<ChordKey>& out) const {
+  out.clear();
+  out.reserve(ring_.size());
+  for (const auto& [key, node] : ring_) out.push_back(key);  // sorted
+}
+
+void ChordRing::join_impl(net::PeerId peer, bool deferred) {
   QSA_EXPECTS(!contains(peer));
   const ChordKey key = node_key(seed_, peer);
   QSA_EXPECTS(!ring_.contains(key));  // 64-bit collisions: astronomically rare
   Node node;
   node.peer = peer;
+  // Self-pointing fingers mean "unset": routing skips them and falls back
+  // to the successor walk. join() overwrites them below; join_deferred()
+  // leaves them for stabilize_all().
+  node.fingers.fill(key);
   if (!ring_.empty()) {
     // The new node takes over the key range (predecessor, key] from its
     // successor.
@@ -60,8 +81,14 @@ void ChordRing::join(net::PeerId peer) {
   }
   auto [it, inserted] = ring_.emplace(key, std::move(node));
   QSA_ASSERT(inserted);
-  compute_fingers(key, it->second);
+  if (!deferred) compute_fingers(key, it->second);
   key_of_peer_.emplace(peer, key);
+}
+
+void ChordRing::join(net::PeerId peer) { join_impl(peer, /*deferred=*/false); }
+
+void ChordRing::join_deferred(net::PeerId peer) {
+  join_impl(peer, /*deferred=*/true);
 }
 
 void ChordRing::leave(net::PeerId peer) {
@@ -136,10 +163,8 @@ LookupStats ChordRing::route(ChordKey key, net::PeerId from,
     Ring::const_iterator next = ring_.end();
     Ring::const_iterator alternate = ring_.end();
     for (int i = kKeyBits - 1; i >= 0; --i) {
-      const ChordKey f = cur->second.fingers.empty()
-                             ? cur->first
-                             : cur->second.fingers[static_cast<std::size_t>(i)];
-      if (f == cur->first) continue;
+      const ChordKey f = cur->second.fingers[static_cast<std::size_t>(i)];
+      if (f == cur->first) continue;  // unset (deferred/fresh) finger
       if (!in_interval_oo(cur->first, key, f)) continue;
       auto fnode = ring_.find(f);
       if (fnode == ring_.end()) continue;  // stale finger: node departed
@@ -227,10 +252,11 @@ void ChordRing::stabilize_round(double fraction) {
   const auto count = std::max<std::size_t>(
       1, static_cast<std::size_t>(
              std::ceil(fraction * static_cast<double>(ring_.size()))));
+  snapshot_keys(stabilize_scratch_);
   auto it = ring_.lower_bound(stabilize_cursor_);
   if (it == ring_.end()) it = ring_.begin();
   for (std::size_t i = 0; i < count && i < ring_.size(); ++i) {
-    compute_fingers(it->first, it->second);
+    compute_fingers_sorted(stabilize_scratch_, it->first, it->second);
     ++it;
     if (it == ring_.end()) it = ring_.begin();
   }
@@ -238,7 +264,11 @@ void ChordRing::stabilize_round(double fraction) {
 }
 
 void ChordRing::stabilize_all() {
-  for (auto& [key, node] : ring_) compute_fingers(key, node);
+  if (ring_.empty()) return;
+  snapshot_keys(stabilize_scratch_);
+  for (auto& [key, node] : ring_) {
+    compute_fingers_sorted(stabilize_scratch_, key, node);
+  }
 }
 
 net::PeerId ChordRing::owner_of(ChordKey key) const {

@@ -37,6 +37,13 @@ class LookupService {
 
   /// Adds a peer to the overlay.
   virtual void join(net::PeerId peer) = 0;
+  /// Bulk-bootstrap join: identical membership effect to join(), but an
+  /// implementation may defer building the peer's routing state (finger
+  /// tables) to the stabilize_all() a bulk bootstrap always ends with —
+  /// computing it per join is O(N log N) work that stabilize_all() redoes
+  /// wholesale anyway. Must not be used when lookups can run before that
+  /// stabilize_all(). Default: a plain join.
+  virtual void join_deferred(net::PeerId peer) { join(peer); }
   /// Graceful departure: stored keys are handed off.
   virtual void leave(net::PeerId peer) = 0;
   /// Abrupt failure: the node's store vanishes (replicas may survive).

@@ -357,5 +357,267 @@ TEST(NetworkModel, ActivePairsTracksReservedLinks) {
   EXPECT_EQ(net.active_pairs(), 2u);
 }
 
+TEST(NetworkModel, SelfPairsNeverTouchTheLedger) {
+  // Regression for the loopback-ledger bug: a==b reservations used to
+  // insert a real ledger entry and run the float cancel/snap path. The
+  // loopback is process-local memory — reserving on it must be a pure
+  // no-op that leaves the ledger untouched.
+  NetworkModel net(1, clock30());
+  EXPECT_DOUBLE_EQ(net.available_kbps(5, 5), NetworkModel::kLoopbackKbps);
+  ASSERT_TRUE(net.try_reserve(5, 5, 500'000, SimTime::zero()));
+  EXPECT_EQ(net.active_pairs(), 0u);
+  EXPECT_EQ(net.touched_pairs(), 1u);  // distinct self pairs still counted
+  ASSERT_TRUE(net.try_reserve(5, 5, 500'000, SimTime::zero()));
+  EXPECT_EQ(net.touched_pairs(), 1u);
+  // Available bandwidth never moves: the loopback has no bottleneck.
+  EXPECT_DOUBLE_EQ(net.available_kbps(5, 5), NetworkModel::kLoopbackKbps);
+  EXPECT_DOUBLE_EQ(net.probed_available_kbps(5, 5, SimTime::seconds(40)),
+                   NetworkModel::kLoopbackKbps);
+  net.release(5, 5, 500'000, SimTime::zero());
+  EXPECT_EQ(net.active_pairs(), 0u);
+  // A different peer's self pair is a new distinct pair.
+  ASSERT_TRUE(net.try_reserve(7, 7, 1, SimTime::zero()));
+  EXPECT_EQ(net.touched_pairs(), 2u);
+  EXPECT_EQ(net.active_pairs(), 0u);
+}
+
+TEST(NetworkModel, EvictionDropsDrainedPairsAtTheNextEpoch) {
+  // Regression for the ledger-leak bug: fully released entries were never
+  // erased, so the map grew with every pair ever touched. Once the
+  // probe-epoch snapshot of a drained entry is unobservable, the entry
+  // must go.
+  NetworkModel net(1, clock30());
+  net.set_evict_floor(0);
+  constexpr PeerId kPairs = 64;
+  for (PeerId b = 1; b <= kPairs; ++b) {
+    ASSERT_TRUE(
+        net.try_reserve(0, b, net.capacity_kbps(0, b) / 2, SimTime::zero()));
+  }
+  EXPECT_EQ(net.active_pairs(), kPairs);
+  for (PeerId b = 1; b <= kPairs; ++b) {
+    net.release(0, b, net.capacity_kbps(0, b) / 2, SimTime::seconds(5));
+  }
+  // Drained in epoch 0: still held — a prober in epoch 0 may yet read the
+  // epoch-0 snapshot.
+  EXPECT_EQ(net.active_pairs(), kPairs);
+  // The first mutating call after the boundary sweeps them all out.
+  ASSERT_TRUE(net.try_reserve(0, kPairs + 1, 1, SimTime::seconds(31)));
+  EXPECT_EQ(net.active_pairs(), 1u);
+  // Evicted pairs answer exactly as never-touched links would.
+  EXPECT_DOUBLE_EQ(net.available_kbps(0, 2), net.capacity_kbps(0, 2));
+  EXPECT_DOUBLE_EQ(net.probed_available_kbps(0, 2, SimTime::seconds(40)),
+                   net.capacity_kbps(0, 2));
+  // The monotone distinct-pair counter is unaffected by eviction.
+  EXPECT_EQ(net.touched_pairs(), kPairs + 1u);
+}
+
+TEST(NetworkModel, EvictionSparesSnapshotsStillObservable) {
+  // An entry drained *this* epoch still owes probers its epoch-start
+  // snapshot: it must survive the sweep until the next boundary.
+  NetworkModel net(1, clock30());
+  net.set_evict_floor(0);
+  PeerId b = 1;
+  while (net.capacity_kbps(0, b) != 10'000) ++b;
+  const double cap = net.capacity_kbps(0, b);
+  ASSERT_TRUE(net.try_reserve(0, b, 5000, SimTime::seconds(5)));  // epoch 0
+  // Released in epoch 1: the entry drains, but its epoch-1 snapshot (5000
+  // reserved) stays visible to epoch-1 probers.
+  net.release(0, b, 5000, SimTime::seconds(35));
+  EXPECT_EQ(net.active_pairs(), 1u);
+  EXPECT_DOUBLE_EQ(net.probed_available_kbps(0, b, SimTime::seconds(40)),
+                   cap - 5000);
+  EXPECT_DOUBLE_EQ(net.available_kbps(0, b), cap);
+  // Epoch 2: the snapshot is dead; the next mutating call may evict.
+  ASSERT_TRUE(net.try_reserve(0, b + 1, 1, SimTime::seconds(61)));
+  EXPECT_EQ(net.active_pairs(), 1u);  // only the fresh reservation remains
+  EXPECT_DOUBLE_EQ(net.probed_available_kbps(0, b, SimTime::seconds(65)), cap);
+}
+
+TEST(NetworkModel, EvictionRespectsTheFloor) {
+  // Below the floor the sweep never runs: small grids (and the golden-
+  // digest cells) keep every entry, so re-touched pairs are never
+  // double-counted.
+  NetworkModel net(1, clock30());  // default floor
+  ASSERT_TRUE(net.try_reserve(0, 1, 1, SimTime::zero()));
+  net.release(0, 1, 1, SimTime::seconds(2));
+  ASSERT_TRUE(net.try_reserve(0, 2, 1, SimTime::seconds(31)));
+  EXPECT_EQ(net.active_pairs(), 2u);  // drained entry kept below the floor
+  ASSERT_TRUE(net.try_reserve(0, 1, 1, SimTime::seconds(32)));
+  EXPECT_EQ(net.touched_pairs(), 2u);  // re-insert not double-counted
+}
+
+// ------------------------------------------------- NetworkModel (coords)
+
+TEST(NetworkModelCoords, MarginalsMatchPaperLevelSets) {
+  // The synthetic-coordinate model must keep the paper's Section 4.1
+  // marginals: latency levels {1,20,80,150,200} ms at ~20% each (distance
+  // quantiles of the unit square) and bandwidth levels at ~25% each
+  // (per-peer access tiers with sqrt-shaped CDF, pair = worse endpoint).
+  NetworkModel net(3, clock30(), NetModelKind::kCoords);
+  std::map<std::int64_t, int> lat;
+  std::map<double, int> cap;
+  constexpr PeerId kPeers = 250;
+  int pairs = 0;
+  for (PeerId a = 0; a < kPeers; ++a) {
+    for (PeerId b = a + 1; b < kPeers; ++b) {
+      ++lat[net.latency(a, b).as_millis()];
+      ++cap[net.capacity_kbps(a, b)];
+      ++pairs;
+    }
+  }
+  ASSERT_EQ(lat.size(), 5u);
+  for (std::int64_t ms : {200, 150, 80, 20, 1}) {
+    ASSERT_TRUE(lat.contains(ms)) << ms;
+    const double share = static_cast<double>(lat[ms]) / pairs;
+    EXPECT_NEAR(share, 0.20, 0.06) << ms << " ms";
+  }
+  ASSERT_EQ(cap.size(), 4u);
+  for (double kbps : {10'000.0, 500.0, 100.0, 56.0}) {
+    ASSERT_TRUE(cap.contains(kbps)) << kbps;
+    const double share = static_cast<double>(cap[kbps]) / pairs;
+    EXPECT_NEAR(share, 0.25, 0.08) << kbps << " kbps";
+  }
+}
+
+TEST(NetworkModelCoords, SymmetricDeterministicAndSeedSensitive) {
+  NetworkModel n1(7, clock30(), NetModelKind::kCoords);
+  NetworkModel n1b(7, clock30(), NetModelKind::kCoords);
+  NetworkModel n2(8, clock30(), NetModelKind::kCoords);
+  int differing = 0;
+  for (PeerId b = 1; b < 64; ++b) {
+    EXPECT_EQ(n1.latency(0, b), n1.latency(b, 0));
+    EXPECT_DOUBLE_EQ(n1.capacity_kbps(0, b), n1.capacity_kbps(b, 0));
+    EXPECT_EQ(n1.latency(0, b), n1b.latency(0, b));
+    EXPECT_DOUBLE_EQ(n1.capacity_kbps(0, b), n1b.capacity_kbps(0, b));
+    differing += n1.latency(0, b) != n2.latency(0, b);
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(NetworkModelCoords, LatencyIsMonotoneInCoordinateDistance) {
+  // The whole point of the coordinate derivation: pair latency is a
+  // quantized function of Euclidean distance, so closer peers never read
+  // a higher latency level than farther ones.
+  NetworkModel net(11, clock30(), NetModelKind::kCoords);
+  const auto dist = [&](PeerId a, PeerId b) {
+    const auto [ax, ay] = net.coordinate(a);
+    const auto [bx, by] = net.coordinate(b);
+    const double dx = ax - bx, dy = ay - by;
+    return dx * dx + dy * dy;
+  };
+  for (PeerId a = 0; a < 20; ++a) {
+    for (PeerId b = 0; b < 20; ++b) {
+      for (PeerId c = 0; c < 20; ++c) {
+        if (a == b || a == c || b == c) continue;
+        if (dist(a, b) < dist(a, c)) {
+          EXPECT_LE(net.latency(a, b), net.latency(a, c));
+        }
+      }
+    }
+  }
+}
+
+TEST(NetworkModelCoords, BandwidthIsTheWorseAccessTier) {
+  NetworkModel net(5, clock30(), NetModelKind::kCoords);
+  for (PeerId a = 0; a < 40; ++a) {
+    EXPECT_GE(net.access_tier(a), 0);
+    EXPECT_LT(net.access_tier(a), 4);
+    for (PeerId b = a + 1; b < 40; ++b) {
+      const int worse = std::max(net.access_tier(a), net.access_tier(b));
+      EXPECT_DOUBLE_EQ(net.capacity_kbps(a, b),
+                       NetworkModel::kBandwidthLevelsKbps[
+                           static_cast<std::size_t>(worse)]);
+    }
+  }
+}
+
+TEST(NetworkModelCoords, LoopbackAndReservationsBehaveIdentically) {
+  NetworkModel net(1, clock30(), NetModelKind::kCoords);
+  EXPECT_EQ(net.latency(5, 5), SimTime::zero());
+  EXPECT_DOUBLE_EQ(net.capacity_kbps(5, 5), NetworkModel::kLoopbackKbps);
+  const double cap = net.capacity_kbps(0, 1);
+  ASSERT_TRUE(net.try_reserve(0, 1, cap / 2, SimTime::zero()));
+  EXPECT_DOUBLE_EQ(net.available_kbps(0, 1), cap - cap / 2);
+  EXPECT_FALSE(net.try_reserve(0, 1, cap, SimTime::zero()));
+  net.release(0, 1, cap / 2, SimTime::zero());
+  EXPECT_DOUBLE_EQ(net.available_kbps(0, 1), cap);
+}
+
+// --------------------------------------------- PeerTable (paged storage)
+
+TEST(PeerTablePaging, FullyDepartedPagesAreReclaimed) {
+  PeerTable t(qos::ResourceSchema::paper(), clock30(), /*page_size=*/16);
+  std::vector<PeerId> ids;
+  for (int i = 0; i < 160; ++i) {
+    ids.push_back(t.add_peer(ResourceVector{100, 100}, SimTime::zero()));
+  }
+  EXPECT_EQ(t.resident_slots(), 160u);
+  // Drain the first 9 pages inside epoch 1.
+  for (int i = 0; i < 144; ++i) t.remove_peer(ids[i], SimTime::seconds(40));
+  // Same epoch: departed peers may still be probed alive, pages stay.
+  EXPECT_EQ(t.resident_slots(), 160u);
+  EXPECT_TRUE(t.probed_alive(ids[0], SimTime::seconds(45)));
+  // Any table op after the epoch boundary reclaims the drained pages.
+  t.add_peer(ResourceVector{100, 100}, SimTime::seconds(70));
+  EXPECT_EQ(t.resident_pages(), 2u);  // the live tail + the fresh arrival
+  EXPECT_EQ(t.resident_slots(), 32u);
+  // Reclaimed peers answer exactly like long-departed ones.
+  EXPECT_FALSE(t.alive(ids[0]));
+  EXPECT_FALSE(t.probed_alive(ids[0], SimTime::seconds(70)));
+  EXPECT_FALSE(t.try_reserve(ids[0], ResourceVector{1, 1},
+                             SimTime::seconds(70)));
+  t.release(ids[0], ResourceVector{1, 1}, SimTime::seconds(70));  // no-op
+  // Ids are never reused and the live peers are untouched.
+  EXPECT_EQ(t.total_peers(), 161u);
+  EXPECT_TRUE(t.alive(ids[150]));
+  EXPECT_EQ(t.peer(ids[150]).available(), (ResourceVector{100, 100}));
+}
+
+TEST(PeerTablePaging, ResidentFootprintPlateausUnderChurn) {
+  // Long-horizon churn: arrivals replace departures wave after wave. Total
+  // arrivals grow without bound; the resident footprint must plateau at
+  // O(alive + one epoch of departures).
+  PeerTable t(qos::ResourceSchema::paper(), clock30(), /*page_size=*/16);
+  std::vector<PeerId> wave;
+  for (int i = 0; i < 32; ++i) {
+    wave.push_back(t.add_peer(ResourceVector{100, 100}, SimTime::zero()));
+  }
+  std::size_t peak_pages = 0;
+  for (int round = 1; round <= 50; ++round) {
+    const SimTime now = SimTime::seconds(30 * round);
+    std::vector<PeerId> next;
+    for (int i = 0; i < 32; ++i) {
+      next.push_back(t.add_peer(ResourceVector{100, 100}, now));
+    }
+    for (PeerId id : wave) t.remove_peer(id, now);
+    wave = std::move(next);
+    peak_pages = std::max(peak_pages, t.resident_pages());
+  }
+  EXPECT_EQ(t.total_peers(), 32u * 51);
+  EXPECT_EQ(t.alive_count(), 32u);
+  // 32 alive + up to two epochs of not-yet-reclaimed departures: a handful
+  // of 16-slot pages, nowhere near the 102 ever allocated.
+  EXPECT_LE(peak_pages, 10u);
+  EXPECT_LE(t.resident_pages(), 10u);
+}
+
+TEST(PeerTablePaging, ReservationsSurviveAcrossPageBoundaries) {
+  PeerTable t(qos::ResourceSchema::paper(), clock30(), /*page_size=*/4);
+  std::vector<PeerId> ids;
+  for (int i = 0; i < 12; ++i) {
+    ids.push_back(t.add_peer(ResourceVector{100, 100}, SimTime::zero()));
+  }
+  for (PeerId id : ids) {
+    ASSERT_TRUE(t.try_reserve(id, ResourceVector{30, 30}, SimTime::zero()));
+  }
+  for (PeerId id : ids) {
+    EXPECT_EQ(t.peer(id).available(), (ResourceVector{70, 70}));
+  }
+  for (PeerId id : ids) {
+    t.release(id, ResourceVector{30, 30}, SimTime::seconds(5));
+    EXPECT_EQ(t.peer(id).available(), (ResourceVector{100, 100}));
+  }
+}
+
 }  // namespace
 }  // namespace qsa::net

@@ -216,14 +216,19 @@ TEST_F(SessionFixture, ConcurrentSessionsSaturateThenFreeCapacity) {
 
 TEST_F(SessionFixture, ConsecutiveInstancesOnOneHostUseTheSelfLoop) {
   // Two consecutive path hops on the same host: the edge between them is the
-  // a==b loopback link. Admission must succeed and completion must return
-  // host, loopback and host->requester link to their full capacity.
+  // a==b loopback link. The loopback is process-local memory, not a network
+  // link — reserving on it is a no-op that never touches the ledger, and its
+  // available bandwidth stays pinned at the loopback capacity throughout.
   const auto h = add_host();
+  const std::size_t pairs_before = net.active_pairs();
   ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(5)),
                                   make_plan({h, h})),
             FailureCause::kNone);
   EXPECT_EQ(peers.peer(h).available(), (ResourceVector{300, 300}));
-  EXPECT_LT(net.available_kbps(h, h), net.capacity_kbps(h, h));
+  EXPECT_DOUBLE_EQ(net.available_kbps(h, h), net::NetworkModel::kLoopbackKbps);
+  // The session's only real link is host->requester; the self-edge must not
+  // have grown the reservation ledger.
+  EXPECT_EQ(net.active_pairs(), pairs_before + 1);
   simulator.run_until(SimTime::minutes(6));
   EXPECT_EQ(manager.stats().completed, 1u);
   EXPECT_EQ(peers.peer(h).available(), (ResourceVector{500, 500}));
@@ -235,12 +240,16 @@ TEST_F(SessionFixture, ConsecutiveInstancesOnOneHostUseTheSelfLoop) {
 TEST_F(SessionFixture, SinkOnRequesterUsesTheSelfLoop) {
   // The requester hosts the sink instance itself: the final delivery edge
   // sink->requester degenerates to requester==requester.
+  const std::size_t pairs_before = net.active_pairs();
   ASSERT_EQ(manager.start_session(make_request(SimTime::minutes(5)),
                                   make_plan({requester})),
             FailureCause::kNone);
   EXPECT_EQ(peers.peer(requester).available(), (ResourceVector{400, 400}));
-  EXPECT_LT(net.available_kbps(requester, requester),
-            net.capacity_kbps(requester, requester));
+  // The delivery edge degenerated to a self-pair: short-circuited, so the
+  // ledger gained nothing and loopback bandwidth reads as unlimited.
+  EXPECT_DOUBLE_EQ(net.available_kbps(requester, requester),
+                   net::NetworkModel::kLoopbackKbps);
+  EXPECT_EQ(net.active_pairs(), pairs_before);
   simulator.run_until(SimTime::minutes(6));
   EXPECT_EQ(manager.stats().completed, 1u);
   EXPECT_EQ(peers.peer(requester).available(), (ResourceVector{500, 500}));
@@ -263,7 +272,10 @@ TEST_F(SessionFixture, RecoveryCollapsesPathOntoOneHost) {
   peers.remove_peer(h, simulator.now());
   ASSERT_EQ(manager.stats().recovered, 1u);
   EXPECT_EQ(peers.peer(spare).available(), (ResourceVector{300, 300}));
-  EXPECT_LT(net.available_kbps(spare, spare), net.capacity_kbps(spare, spare));
+  // The collapsed path's internal edge is a self-pair: no ledger entry, full
+  // loopback bandwidth.
+  EXPECT_DOUBLE_EQ(net.available_kbps(spare, spare),
+                   net::NetworkModel::kLoopbackKbps);
   simulator.run_until(SimTime::minutes(31));
   EXPECT_EQ(manager.stats().completed, 1u);
   EXPECT_EQ(peers.peer(spare).available(), (ResourceVector{500, 500}));

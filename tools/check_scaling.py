@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Gate on the population scaling curve measured by bench/bench_scaling_curve.
+
+Reads the bench's --json-out report (cells ordered by increasing N, constant
+per-peer load) and fails unless:
+
+  * wall ceiling: bootstrap + run wall time of the largest cell <=
+    --max-wall-ms (default 60000 — a hard stop against the bootstrap or the
+    event loop regressing to superlinear);
+  * near-linear memory: between consecutive cells, peak RSS grows at most
+    --max-rss-growth x the population ratio (default 1.5 — RSS must track
+    N, not N^2 pairwise state; the slack absorbs the fixed baseline of the
+    smaller cell, which flatters the ratio, and allocator rounding);
+  * bounded ledger: the reservation ledger's live entry count at the horizon
+    of the largest cell <= --max-active-pairs (default 2000000 — the ledger
+    holds in-flight session links, not every pair ever touched).
+
+Usage:
+    bench_scaling_curve --ns=10000,50000 --json-out=BENCH_scale.json
+    python3 tools/check_scaling.py BENCH_scale.json \
+        [--max-wall-ms=60000] [--max-rss-growth=1.5] \
+        [--max-active-pairs=2000000] [--json-out=FILE]
+
+The wall ceiling is intentionally loose for noisy shared runners: the gate
+exists to catch asymptotic regressions (per-join O(N) work, unbounded
+per-pair state), not to certify quiet-machine numbers.
+"""
+
+import argparse
+import json
+import sys
+
+from gate_common import add_json_out_arg, write_json_out
+
+GATE = "check_scaling"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="bench_scaling_curve --json-out report")
+    parser.add_argument("--max-wall-ms", type=float, default=60000,
+                        help="max bootstrap+run wall ms of the largest cell "
+                             "(default 60000)")
+    parser.add_argument("--max-rss-growth", type=float, default=1.5,
+                        help="max peak-RSS ratio between consecutive cells, "
+                             "normalized by the population ratio "
+                             "(default 1.5)")
+    parser.add_argument("--max-active-pairs", type=int, default=2000000,
+                        help="max live reservation-ledger entries at the "
+                             "largest cell's horizon (default 2000000)")
+    add_json_out_arg(parser)
+    opts = parser.parse_args()
+    thresholds = {"max_wall_ms": opts.max_wall_ms,
+                  "max_rss_growth": opts.max_rss_growth,
+                  "max_active_pairs": opts.max_active_pairs}
+
+    with open(opts.report, encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    cells = report.get("cells", [])
+    required = ("peers", "bootstrap_ms", "run_ms", "rss_kb", "active_pairs")
+    if not cells or any(key not in cell for cell in cells
+                        for key in required):
+        print("error: report has no complete cells — was bench_scaling_curve "
+              "run with --json-out?", file=sys.stderr)
+        write_json_out(opts.json_out, GATE, False, 2, thresholds,
+                       {"cells": len(cells)})
+        return 2
+    cells = sorted(cells, key=lambda c: c["peers"])
+
+    largest = cells[-1]
+    wall_ms = largest["bootstrap_ms"] + largest["run_ms"]
+    growth_ratios = []
+    for prev, cur in zip(cells, cells[1:]):
+        peers_ratio = cur["peers"] / prev["peers"]
+        rss_ratio = cur["rss_kb"] / max(1, prev["rss_kb"])
+        growth_ratios.append({"from_peers": prev["peers"],
+                              "to_peers": cur["peers"],
+                              "rss_ratio": rss_ratio,
+                              "peers_ratio": peers_ratio,
+                              "normalized": rss_ratio / peers_ratio})
+    measured = {"largest_peers": largest["peers"], "wall_ms": wall_ms,
+                "active_pairs": largest["active_pairs"],
+                "growth": growth_ratios}
+
+    print(f"wall: N={largest['peers']} bootstrap "
+          f"{largest['bootstrap_ms']:.1f} + run {largest['run_ms']:.1f} = "
+          f"{wall_ms:.1f} ms (max {opts.max_wall_ms:.0f})")
+    for g in growth_ratios:
+        print(f"rss: N={g['from_peers']} -> {g['to_peers']}: "
+              f"{g['rss_ratio']:.2f}x RSS over {g['peers_ratio']:.1f}x peers "
+              f"-> {g['normalized']:.3f}x normalized "
+              f"(max {opts.max_rss_growth:.2f})")
+    print(f"ledger: {largest['active_pairs']} live pairs at N="
+          f"{largest['peers']} horizon (max {opts.max_active_pairs})")
+
+    failures = []
+    if wall_ms > opts.max_wall_ms:
+        failures.append(f"wall {wall_ms:.1f} ms > {opts.max_wall_ms:.0f} ms "
+                        f"at N={largest['peers']}")
+    for g in growth_ratios:
+        if g["normalized"] > opts.max_rss_growth:
+            failures.append(
+                f"RSS grew {g['normalized']:.3f}x faster than the population "
+                f"between N={g['from_peers']} and N={g['to_peers']} "
+                f"(max {opts.max_rss_growth:.2f}x)")
+    if largest["active_pairs"] > opts.max_active_pairs:
+        failures.append(f"ledger holds {largest['active_pairs']} live pairs "
+                        f"> {opts.max_active_pairs}")
+
+    ok = not failures
+    write_json_out(opts.json_out, GATE, ok, 0 if ok else 1, thresholds,
+                   measured)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not ok:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
