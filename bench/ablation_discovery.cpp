@@ -1,0 +1,208 @@
+// Discovery-backend ablation (DESIGN.md §15): the flat directory lookup vs
+// the attribute index (--discovery=dht) across peer counts and churn rates.
+// The directory routes one overlay lookup per abstract service and filters
+// nothing; the index routes per-attribute bucket scans with the uptime and
+// sink-level predicates pushed down, then pays a client-side re-check.
+//
+// Reported per cell: psi, discovery hops per request, and — for the index —
+// hops per range scan, the quantization false-positive rate, the
+// staleness-at-use rate (candidates whose provider had already departed)
+// and scans lost under faults (zero here: this sweep runs fault-free).
+// tools/check_discovery.py gates CI on the --json-out report: scan cost
+// must stay O(log N + span) as the population grows, and psi must track
+// the directory baseline.
+//
+// Flags: --ns=N1,N2,...    populations (default 600,1200,2400)
+//        --churns=C1,...   churn events/min per 10^4 peers (default 0,20)
+//        --minutes=M       horizon per cell (default 20)
+//        --rate=R          requests/min per 10^4 peers (default 150)
+//        plus the shared bench flags (--seed, --threads, --csv,
+//        --metrics-out) and --json-out=FILE for the gate report.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+std::vector<std::size_t> parse_size_list(const std::string& list) {
+  std::vector<std::size_t> out;
+  for (const double v : qsa::util::parse_double_list(list)) {
+    out.push_back(static_cast<std::size_t>(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qsa;
+  util::Flags flags(argc, argv);
+  const auto opt = bench::parse_options(flags);
+  const auto ns = parse_size_list(flags.get("ns", "600,1200,2400"));
+  const auto churns = util::parse_double_list(flags.get("churns", "0,20"));
+  const double minutes = flags.get_double("minutes", 20);
+  const double rate = flags.get_double("rate", 150);
+  const std::string json_out = flags.get("json-out", "");
+  util::reject_unknown_flags(flags, "ablation_discovery");
+  if (ns.empty() || churns.empty()) {
+    std::fprintf(stderr, "--ns and --churns must each name a value\n");
+    return 2;
+  }
+
+  harness::GridConfig base;
+  base.seed = opt.seed;
+  base.horizon = sim::SimTime::minutes(minutes);
+  bench::BenchOptions header_opt = opt;
+  {
+    auto shown = base;
+    shown.peers = ns.front();
+    bench::print_header(
+        "Discovery: directory lookup vs attribute-indexed range scans",
+        "population x churn sweep, both backends; psi + routing cost",
+        header_opt, shown);
+  }
+
+  const harness::DiscoveryKind backends[] = {
+      harness::DiscoveryKind::kDirectory, harness::DiscoveryKind::kDht};
+  std::vector<harness::ExperimentCell> cells;
+  for (const std::size_t n : ns) {
+    for (const double churn : churns) {
+      for (const auto backend : backends) {
+        auto cfg = base;
+        const double factor = static_cast<double>(n) / 1e4;
+        cfg.peers = n;
+        cfg.requests.rate_per_min = rate * factor;
+        cfg.churn.events_per_min = churn * factor;
+        cfg.discovery = backend;
+        cells.push_back(harness::ExperimentCell{
+            std::string(harness::to_string(backend)) +
+                " N=" + std::to_string(n) +
+                " churn=" + metrics::Table::num(churn, 0),
+            cfg});
+      }
+    }
+  }
+  bench::enable_observability(cells, opt);
+  const auto results = harness::ExperimentRunner(opt.threads).run(cells);
+  bench::write_metrics_sidecar("ablation_discovery", results, opt);
+
+  const auto cell_at = [&](std::size_t n_i, std::size_t c_i, bool dht) {
+    return n_i * churns.size() * 2 + c_i * 2 + (dht ? 1 : 0);
+  };
+  const auto ratio = [](std::uint64_t num, std::uint64_t den) {
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+  };
+
+  metrics::Table table({"backend", "peers", "churn", "psi_pct",
+                        "hops_per_req", "hops_per_scan", "fp_rate",
+                        "stale_rate", "failed_scans"});
+  for (std::size_t n_i = 0; n_i < ns.size(); ++n_i) {
+    for (std::size_t c_i = 0; c_i < churns.size(); ++c_i) {
+      for (int dht = 0; dht < 2; ++dht) {
+        const auto& r = results[cell_at(n_i, c_i, dht != 0)].result;
+        const auto scans = r.counters.get("index.scans");
+        table.add_row(
+            {dht != 0 ? "dht" : "directory", std::to_string(ns[n_i]),
+             metrics::Table::num(churns[c_i], 0),
+             metrics::Table::num(100 * r.success_ratio(), 1),
+             metrics::Table::num(ratio(r.lookup_hops, r.requests), 2),
+             dht != 0 ? metrics::Table::num(
+                            ratio(r.counters.get("index.scan_hops"), scans), 2)
+                      : "-",
+             dht != 0 ? metrics::Table::num(
+                            ratio(r.counters.get("index.false_positives"),
+                                  r.counters.get("index.scanned_postings")),
+                            3)
+                      : "-",
+             dht != 0 ? metrics::Table::num(
+                            ratio(r.counters.get("index.stale_postings"),
+                                  r.counters.get("index.scanned_postings")),
+                            4)
+                      : "-",
+             dht != 0 ? std::to_string(r.counters.get("index.failed_scans"))
+                      : "-"});
+      }
+    }
+  }
+  bench::emit(table, opt);
+
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open --json-out file %s\n",
+                   json_out.c_str());
+      return 1;
+    }
+    os << "{\"bench\":\"ablation_discovery\",\"minutes\":" << minutes
+       << ",\"seed\":" << opt.seed << ",\"cells\":[";
+    bool first = true;
+    for (std::size_t n_i = 0; n_i < ns.size(); ++n_i) {
+      for (std::size_t c_i = 0; c_i < churns.size(); ++c_i) {
+        for (int dht = 0; dht < 2; ++dht) {
+          const auto& r = results[cell_at(n_i, c_i, dht != 0)].result;
+          if (!first) os << ',';
+          first = false;
+          os << "{\"backend\":\"" << (dht != 0 ? "dht" : "directory")
+             << "\",\"peers\":" << ns[n_i] << ",\"churn\":" << churns[c_i]
+             << ",\"psi\":" << r.success_ratio()
+             << ",\"requests\":" << r.requests
+             << ",\"lookup_hops\":" << r.lookup_hops;
+          if (dht != 0) {
+            os << ",\"scans\":" << r.counters.get("index.scans")
+               << ",\"scan_hops\":" << r.counters.get("index.scan_hops")
+               << ",\"scan_segments\":"
+               << r.counters.get("index.scan_segments")
+               << ",\"scanned_postings\":"
+               << r.counters.get("index.scanned_postings")
+               << ",\"false_positives\":"
+               << r.counters.get("index.false_positives")
+               << ",\"stale_postings\":"
+               << r.counters.get("index.stale_postings")
+               << ",\"failed_scans\":" << r.counters.get("index.failed_scans")
+               << ",\"postings\":" << r.counters.get("index.postings");
+          }
+          os << '}';
+        }
+      }
+    }
+    os << "]}\n";
+    std::printf("json report -> %s\n", json_out.c_str());
+  }
+
+  // Acceptance shape, mirrored (with knobs) by tools/check_discovery.py:
+  // every dht cell completed its scans fault-free, scan cost stays
+  // O(log N + span) rather than per-bucket O(log N), and psi tracks the
+  // directory baseline everywhere on the sweep.
+  bool completed_ok = true;
+  bool hops_ok = true;
+  bool psi_ok = true;
+  for (std::size_t n_i = 0; n_i < ns.size(); ++n_i) {
+    for (std::size_t c_i = 0; c_i < churns.size(); ++c_i) {
+      const auto& dir = results[cell_at(n_i, c_i, false)].result;
+      const auto& dht = results[cell_at(n_i, c_i, true)].result;
+      const auto scans = dht.counters.get("index.scans");
+      if (dht.requests == 0 || scans == 0 ||
+          dht.counters.get("index.failed_scans") != 0) {
+        completed_ok = false;
+      }
+      const double hops_per_scan =
+          ratio(dht.counters.get("index.scan_hops"), scans);
+      const double bound =
+          4.0 * std::log2(static_cast<double>(ns[n_i])) + 140.0;
+      if (hops_per_scan > bound) hops_ok = false;
+      if (dht.success_ratio() < dir.success_ratio() - 0.2) psi_ok = false;
+    }
+  }
+  std::printf("shape: every dht cell completes its scans fault-free:  %s\n",
+              completed_ok ? "yes" : "NO");
+  std::printf("shape: scan cost bounded by O(log N + span):           %s\n",
+              hops_ok ? "yes" : "NO");
+  std::printf("shape: psi(dht) within 0.2 of psi(directory) per cell: %s\n",
+              psi_ok ? "yes" : "NO");
+  return completed_ok && hops_ok && psi_ok ? 0 : 1;
+}

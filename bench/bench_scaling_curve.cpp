@@ -152,14 +152,16 @@ int main(int argc, char** argv) {
   const double base_rate = flags.get_double("rate", 100);
   const double base_churn = flags.get_double("churn", 10);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
-  const std::string model_name = flags.get("net-model", "coords");
   const std::string json_out = flags.get("json-out", "");
   const bool csv = flags.get_bool("csv", false);
-  net::NetModelKind model = net::NetModelKind::kCoords;
-  if (!harness::parse_net_model(model_name, model)) {
-    std::fprintf(stderr, "unknown --net-model '%s'\n", model_name.c_str());
-    return 2;
-  }
+  static constexpr util::Choice<net::NetModelKind> kNetModels[] = {
+      {"paper", net::NetModelKind::kPaper},
+      {"coords", net::NetModelKind::kCoords},
+  };
+  const net::NetModelKind model =
+      util::get_choice(flags, "net-model", kNetModels,
+                       net::NetModelKind::kCoords, "bench_scaling_curve");
+  const std::string model_name(net::to_string(model));
   util::reject_unknown_flags(flags, "bench_scaling_curve");
   if (ns.empty()) {
     std::fprintf(stderr, "--ns must name at least one population\n");

@@ -28,6 +28,13 @@ void print_usage() {
       "  --minutes=M        simulated horizon (default 60)\n"
       "  --algorithm=A      qsa | random | fixed (default qsa)\n"
       "  --overlay=O        chord | can | pastry (default chord)\n"
+      "  --discovery=D      directory | dht (default directory). dht swaps\n"
+      "                     the flat per-service lookup for the attribute\n"
+      "                     index: QoS range predicates resolved by bounded\n"
+      "                     scans over order-preserving key arcs\n"
+      "  --index-expiry-epochs=K  republish epochs an unrefreshed index\n"
+      "                     posting survives before the sweep reclaims it\n"
+      "                     (default 2; dht only)\n"
       "  --net-model=N      paper | coords (default paper). coords derives\n"
       "                     latency/bandwidth from per-peer synthetic\n"
       "                     coordinates — same marginals, O(peers) state —\n"
@@ -132,33 +139,37 @@ int main(int argc, char** argv) {
                 cfg.trace_sample > 1 || cfg.flight_recorder > 0 ||
                 cfg.obs_window.as_millis() > 0;
 
-  const std::string algo = flags.get("algorithm", "qsa");
-  if (algo == "qsa") {
-    cfg.algorithm = harness::AlgorithmKind::kQsa;
-  } else if (algo == "random") {
-    cfg.algorithm = harness::AlgorithmKind::kRandom;
-  } else if (algo == "fixed") {
-    cfg.algorithm = harness::AlgorithmKind::kFixed;
-  } else {
-    std::printf("unknown --algorithm '%s'\n", algo.c_str());
-    return 1;
-  }
-  const std::string net_model = flags.get("net-model", "paper");
-  if (!harness::parse_net_model(net_model, cfg.net_model)) {
-    std::printf("unknown --net-model '%s'\n", net_model.c_str());
-    return 1;
-  }
-  const std::string overlay = flags.get("overlay", "chord");
-  if (overlay == "chord") {
-    cfg.overlay = harness::OverlayKind::kChord;
-  } else if (overlay == "can") {
-    cfg.overlay = harness::OverlayKind::kCan;
-  } else if (overlay == "pastry") {
-    cfg.overlay = harness::OverlayKind::kPastry;
-  } else {
-    std::printf("unknown --overlay '%s'\n", overlay.c_str());
-    return 1;
-  }
+  // Enum-valued flags through the shared choice parser: an inadmissible
+  // value prints the admissible set and exits 2, like an unknown flag.
+  static constexpr util::Choice<harness::AlgorithmKind> kAlgorithms[] = {
+      {"qsa", harness::AlgorithmKind::kQsa},
+      {"random", harness::AlgorithmKind::kRandom},
+      {"fixed", harness::AlgorithmKind::kFixed},
+  };
+  cfg.algorithm = util::get_choice(flags, "algorithm", kAlgorithms,
+                                   harness::AlgorithmKind::kQsa, "grid_cli");
+  static constexpr util::Choice<net::NetModelKind> kNetModels[] = {
+      {"paper", net::NetModelKind::kPaper},
+      {"coords", net::NetModelKind::kCoords},
+  };
+  cfg.net_model = util::get_choice(flags, "net-model", kNetModels,
+                                   net::NetModelKind::kPaper, "grid_cli");
+  static constexpr util::Choice<harness::OverlayKind> kOverlays[] = {
+      {"chord", harness::OverlayKind::kChord},
+      {"can", harness::OverlayKind::kCan},
+      {"pastry", harness::OverlayKind::kPastry},
+  };
+  cfg.overlay = util::get_choice(flags, "overlay", kOverlays,
+                                 harness::OverlayKind::kChord, "grid_cli");
+  static constexpr util::Choice<harness::DiscoveryKind> kDiscoveries[] = {
+      {"directory", harness::DiscoveryKind::kDirectory},
+      {"dht", harness::DiscoveryKind::kDht},
+  };
+  cfg.discovery = util::get_choice(flags, "discovery", kDiscoveries,
+                                   harness::DiscoveryKind::kDirectory,
+                                   "grid_cli");
+  cfg.index_expiry_epochs = static_cast<int>(
+      flags.get_int("index-expiry-epochs", cfg.index_expiry_epochs));
   const bool emit_csv = flags.get_bool("csv", false);
 
   // Every recognized flag has been consulted by now; anything left in argv
@@ -170,9 +181,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("qsa grid: %zu peers, %s algorithm on %s overlay, "
-              "%.4g req/min, %.4g churn/min, %.4g min horizon\n\n",
-              cfg.peers, algo.c_str(), overlay.c_str(),
+  std::printf("qsa grid: %zu peers, %s algorithm on %s overlay (%s "
+              "discovery), %.4g req/min, %.4g churn/min, %.4g min horizon\n\n",
+              cfg.peers, std::string(to_string(cfg.algorithm)).c_str(),
+              std::string(harness::to_string(cfg.overlay)).c_str(),
+              std::string(harness::to_string(cfg.discovery)).c_str(),
               cfg.requests.rate_per_min, cfg.churn.events_per_min,
               cfg.horizon.as_minutes());
 

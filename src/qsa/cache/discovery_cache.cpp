@@ -33,6 +33,11 @@ void DiscoveryCache::invalidate() {
   if (invalidations_ != nullptr) invalidations_->add();
 }
 
+void DiscoveryCache::invalidate(registry::ServiceId service) {
+  if (entries_.erase(service) == 0) return;
+  if (invalidations_ != nullptr) invalidations_->add();
+}
+
 void DiscoveryCache::set_metrics(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     hits_ = nullptr;

@@ -3,9 +3,10 @@
 // serves the last discovered instance list for an abstract service without
 // routing — zero hops and zero latency charged, exactly as a peer replaying
 // a recent lookup response from local state would. Entries expire after the
-// configured TTL; any registration change (publish, unpublish, republish)
-// or peer departure the directory hears about drops the whole cache, the
-// soft-state analogue of an invalidation broadcast. Within the TTL the
+// configured TTL; a single-service registration change (publish, unpublish)
+// drops only that service's entry, while a republish or peer departure
+// drops the whole cache — the soft-state analogue of an invalidation
+// broadcast scoped to what actually changed. Within the TTL the
 // cache may serve stale instance lists (e.g. a provider that just departed
 // silently); downstream selection/admission is responsible for rejecting
 // what no longer exists — precisely the staleness model the paper's probing
@@ -45,9 +46,15 @@ class DiscoveryCache {
              const std::vector<registry::InstanceId>& instances,
              sim::SimTime now);
 
-  /// Drops every entry (registration change or peer departure). Counts an
-  /// invalidation only when live state was actually dropped.
+  /// Drops every entry (republish or peer departure — changes that can
+  /// touch any service). Counts an invalidation only when live state was
+  /// actually dropped.
   void invalidate();
+
+  /// Drops only `service`'s entry (a single publish/unpublish changed one
+  /// candidate list; the rest of the cache stays warm). Same counting rule
+  /// as invalidate().
+  void invalidate(registry::ServiceId service);
 
   /// Resolves the `cache.discovery.{hits,misses,invalidations}` counters
   /// (null detaches).

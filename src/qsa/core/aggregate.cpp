@@ -33,10 +33,15 @@ bool discover_candidates(const GridServices& services,
   // Grow-only: shrinking would free the inner vectors' buffers; callers
   // read exactly the first services_on_path entries.
   if (out.size() < services_on_path) out.resize(services_on_path);
+  registry::DiscoveryQuery query;
+  query.from = request.requester;
+  query.requirement = &request.requirement;
+  query.session_duration = request.session_duration;
   for (std::size_t i = 0; i < services_on_path; ++i) {
-    const registry::DiscoveryStats stats = services.directory->discover_into(
-        request.abstract_path[i], request.requester, services.net, now,
-        out[i]);
+    query.service = request.abstract_path[i];
+    query.is_sink = (i + 1 == services_on_path);
+    const registry::DiscoveryStats stats =
+        services.discovery->discover_into(query, services.net, now, out[i]);
     plan.lookup_hops += stats.hops;
     plan.setup_latency += stats.latency;
     if (out[i].empty()) {
@@ -56,7 +61,7 @@ QsaAlgorithm::QsaAlgorithm(GridServices services, qos::TupleWeights weights,
       selector_(weights, schema, options.selector),
       options_(options),
       rng_(util::derive_seed(seed, "qsa-algorithm", 0)) {
-  QSA_EXPECTS(services.catalog && services.placement && services.directory &&
+  QSA_EXPECTS(services.catalog && services.placement && services.discovery &&
               services.peers && services.net && services.neighbors);
   composer_.set_cache(compose_cache);
 }

@@ -13,7 +13,8 @@
 #include "qsa/net/network.hpp"
 #include "qsa/net/peer.hpp"
 #include "qsa/probe/resolution.hpp"
-#include "qsa/registry/directory.hpp"
+#include "qsa/registry/backend.hpp"
+#include "qsa/registry/catalog.hpp"
 #include "qsa/registry/placement.hpp"
 #include "qsa/util/rng.hpp"
 
@@ -103,7 +104,7 @@ class AggregationAlgorithm {
 struct GridServices {
   const registry::ServiceCatalog* catalog = nullptr;
   const registry::PlacementMap* placement = nullptr;
-  const registry::ServiceDirectory* directory = nullptr;
+  const registry::DiscoveryBackend* discovery = nullptr;
   const net::PeerTable* peers = nullptr;
   const net::NetworkModel* net = nullptr;
   probe::NeighborResolution* neighbors = nullptr;

@@ -99,7 +99,7 @@ RandomAlgorithm::RandomAlgorithm(GridServices services,
     : services_(services),
       composer_(*services.catalog, weights, schema),
       rng_(util::derive_seed(seed, "random-algorithm", 0)) {
-  QSA_EXPECTS(services.catalog && services.placement && services.directory &&
+  QSA_EXPECTS(services.catalog && services.placement && services.discovery &&
               services.net);
   composer_.set_cache(compose_cache);
 }
@@ -141,7 +141,7 @@ FixedAlgorithm::FixedAlgorithm(GridServices services, qos::TupleWeights weights,
                                qos::ResourceSchema schema,
                                cache::ComposeCache* compose_cache)
     : services_(services), composer_(*services.catalog, weights, schema) {
-  QSA_EXPECTS(services.catalog && services.placement && services.directory &&
+  QSA_EXPECTS(services.catalog && services.placement && services.discovery &&
               services.net);
   composer_.set_cache(compose_cache);
 }

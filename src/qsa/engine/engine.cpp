@@ -48,9 +48,12 @@ ServingEngine::ServingEngine(const EngineConfig& config,
     compose_cache_ = std::make_unique<cache::ComposeCache>();
   }
 
-  const core::GridServices services{deps.catalog, deps.placement,
-                                    deps.directory, deps.peers,
-                                    deps.net,      deps.neighbors};
+  const core::GridServices services{
+      deps.catalog, deps.placement,
+      deps.discovery != nullptr
+          ? deps.discovery
+          : static_cast<const registry::DiscoveryBackend*>(deps.directory),
+      deps.peers, deps.net, deps.neighbors};
   // Seed-derivation labels are load-bearing: they match the pre-engine
   // harness exactly, so simulations routed through the facade replay the
   // same RNG streams bit for bit.

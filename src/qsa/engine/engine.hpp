@@ -27,6 +27,7 @@
 #include "qsa/core/aggregate.hpp"
 #include "qsa/engine/clock.hpp"
 #include "qsa/obs/registry.hpp"
+#include "qsa/registry/directory.hpp"
 
 namespace qsa::engine {
 
@@ -60,6 +61,10 @@ struct EngineDeps {
   /// Non-const: the engine owns the discovery-cache policy (TTL) of its
   /// directory view.
   registry::ServiceDirectory* directory = nullptr;
+  /// Candidate-lookup backend the algorithms actually query. Null = the
+  /// directory above (the default); the harness points it at an
+  /// index::DhtDiscovery when --discovery=dht swaps the backend.
+  const registry::DiscoveryBackend* discovery = nullptr;
   const net::PeerTable* peers = nullptr;
   const net::NetworkModel* net = nullptr;
   probe::NeighborResolution* neighbors = nullptr;

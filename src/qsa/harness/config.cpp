@@ -19,16 +19,14 @@ std::string_view to_string(OverlayKind kind) {
   return "?";
 }
 
-bool parse_net_model(std::string_view name, net::NetModelKind& out) {
-  if (name == "paper") {
-    out = net::NetModelKind::kPaper;
-    return true;
+std::string_view to_string(DiscoveryKind kind) {
+  switch (kind) {
+    case DiscoveryKind::kDirectory:
+      return "directory";
+    case DiscoveryKind::kDht:
+      return "dht";
   }
-  if (name == "coords") {
-    out = net::NetModelKind::kCoords;
-    return true;
-  }
-  return false;
+  return "?";
 }
 
 void GridConfig::scale(double factor) {

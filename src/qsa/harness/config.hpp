@@ -30,9 +30,14 @@ enum class OverlayKind : std::uint8_t { kChord, kCan, kPastry };
 
 [[nodiscard]] std::string_view to_string(OverlayKind kind);
 
-/// Parses "paper"/"coords" into a NetModelKind; false on anything else.
-[[nodiscard]] bool parse_net_model(std::string_view name,
-                                   net::NetModelKind& out);
+/// Which discovery backend answers tier-1a candidate lookups. kDirectory is
+/// the flat per-service key lookup (the default; golden digests are pinned
+/// to it); kDht swaps in the attribute index (qsa::index, DESIGN.md §15) —
+/// range predicates pushed into the overlay, soft-state epoch expiry, no
+/// requester-side cache.
+enum class DiscoveryKind : std::uint8_t { kDirectory, kDht };
+
+[[nodiscard]] std::string_view to_string(DiscoveryKind kind);
 
 struct GridConfig {
   std::uint64_t seed = 42;
@@ -104,6 +109,16 @@ struct GridConfig {
   /// without the cache. Stale entries within the TTL are caught downstream
   /// (selection/admission), matching the paper's soft-state model.
   sim::SimTime discovery_cache_ttl = sim::SimTime::zero();
+
+  // --- discovery backend (qsa::index; DESIGN.md §15) ---
+  /// kDirectory (the default) keeps every knobs-off run byte-identical;
+  /// kDht constructs the attribute index and routes candidate lookups
+  /// through per-attribute range scans.
+  DiscoveryKind discovery = DiscoveryKind::kDirectory;
+  /// Republish epochs an index posting survives without a refresh before
+  /// the expiry sweep reclaims it (kDht only). 2 tolerates one lost
+  /// republish cycle.
+  int index_expiry_epochs = 2;
 
   // --- replication (the third tier; DESIGN.md §10) ---
   /// Demand-driven replica management (see qsa/replica/config.hpp).

@@ -51,6 +51,15 @@ GridSimulation::GridSimulation(GridConfig config)
   }
   directory_ = std::make_unique<registry::ServiceDirectory>(
       util::derive_seed(config_.seed, "directory", 0), *ring_, catalog_);
+  if (config_.discovery == DiscoveryKind::kDht) {
+    index::IndexConfig ic;
+    ic.expiry_epochs = config_.index_expiry_epochs;
+    index_ = std::make_unique<index::AttributeIndex>(
+        util::derive_seed(config_.seed, "index", 0), *ring_, catalog_,
+        placement_, *peers_, *network_, universe_.level, ic);
+    dht_ = std::make_unique<index::DhtDiscovery>(*index_, universe_.level,
+                                                 sim_clock_);
+  }
   neighbors_ = std::make_unique<probe::NeighborResolution>(
       config_.probe_budget, config_.neighbor_ttl);
   manager_ = std::make_unique<session::SessionManager>(simulator_, *peers_,
@@ -81,6 +90,7 @@ GridSimulation::GridSimulation(GridConfig config)
     deps.catalog = &catalog_;
     deps.placement = &placement_;
     deps.directory = directory_.get();
+    deps.discovery = dht_.get();  // null = the directory answers lookups
     deps.peers = peers_.get();
     deps.net = network_.get();
     deps.neighbors = neighbors_.get();
@@ -101,7 +111,13 @@ GridSimulation::GridSimulation(GridConfig config)
     if (config_.obs_window.as_millis() > 0) {
       series_ = std::make_unique<obs::LiveSeries>();
     }
-    directory_->set_metrics(metrics_.get());
+    // Exactly one backend's lookup metrics register: directory.* names in
+    // directory mode, index.* in dht mode — never both.
+    if (dht_ != nullptr) {
+      dht_->set_metrics(metrics_.get());
+    } else {
+      directory_->set_metrics(metrics_.get());
+    }
     neighbors_->set_metrics(metrics_.get(), network_.get());
     manager_->set_observability(tracer_.get(), metrics_.get());
     lookup_hops_hist_ = &metrics_->histogram("aggregate.lookup_hops");
@@ -126,7 +142,7 @@ GridSimulation::GridSimulation(GridConfig config)
   if (config_.replication.enabled) {
     replica_ = std::make_unique<replica::ReplicaManager>(
         util::derive_seed(config_.seed, "replica", 0), config_.replication,
-        catalog_, placement_, *directory_, *peers_, *network_, weights,
+        catalog_, placement_, discovery(), *peers_, *network_, weights,
         peers_->schema());
     if (metrics_ != nullptr) replica_->set_metrics(metrics_.get());
     manager_->set_demand_callback([this](const session::DemandSignal& sig) {
@@ -237,7 +253,7 @@ void GridSimulation::bootstrap() {
     for (net::PeerId p : chosen) placement_.add_provider(inst, p);
   }
 
-  directory_->publish_all();
+  discovery().publish_all();
 }
 
 core::AggregationPlan GridSimulation::submit_request(
@@ -472,8 +488,9 @@ void GridSimulation::depart_peer(net::PeerId peer) {
   neighbors_->drop_peer(peer);
   peers_->remove_peer(peer, simulator_.now());
   // A departure changes what discovery should return (the departed peer's
-  // share of the key space is gone): drop any cached lookups.
-  directory_->invalidate_cache();
+  // share of the key space is gone): the directory drops cached lookups;
+  // the attribute index lets the lost postings age out via the epoch sweep.
+  discovery().peer_departed(peer);
 }
 
 net::PeerId GridSimulation::arrive_peer() {
@@ -501,7 +518,7 @@ GridResult GridSimulation::run() {
   simulator_.every(config_.stabilize_period, config_.stabilize_period,
                    [this] { ring_->stabilize_round(config_.stabilize_fraction); });
   simulator_.every(config_.republish_period, config_.republish_period,
-                   [this] { directory_->publish_all(); });
+                   [this] { discovery().publish_all(); });
   // Replica retirement sweep, only when the tier exists (an extra periodic
   // event would otherwise perturb the event count of knobs-off runs).
   if (replica_ != nullptr) {
@@ -679,6 +696,38 @@ GridResult GridSimulation::run() {
       metrics_->add("lookup.retries", fs.retries[lookup]);
       metrics_->add("lookup.rerouted", fs.rerouted);
       metrics_->add("session.recovery_retries", fs.retries[resv]);
+    }
+  }
+
+  // Attribute-index accounting, gated exactly like the fault counters: in
+  // directory mode (the default) no index.* counter name ever appears.
+  if (index_ != nullptr) {
+    const index::IndexStats& is = index_->stats();
+    result_.counters.add("index.publishes", is.publishes);
+    result_.counters.add("index.updates", is.updates);
+    result_.counters.add("index.expiries", is.expiries);
+    result_.counters.add("index.scans", is.scans);
+    result_.counters.add("index.scan_segments", is.scan_segments);
+    result_.counters.add("index.scan_hops", is.scan_hops);
+    result_.counters.add("index.scan_reroutes", is.scan_reroutes);
+    result_.counters.add("index.failed_scans", is.failed_scans);
+    result_.counters.add("index.scanned_postings", is.scanned_postings);
+    result_.counters.add("index.false_positives", is.false_positives);
+    result_.counters.add("index.stale_postings", is.stale_postings);
+    result_.counters.add("index.postings", index_->postings());
+    if (metrics_ != nullptr) {
+      metrics_->add("index.publishes", is.publishes);
+      metrics_->add("index.updates", is.updates);
+      metrics_->add("index.expiries", is.expiries);
+      metrics_->add("index.scans", is.scans);
+      metrics_->add("index.scan_segments", is.scan_segments);
+      metrics_->add("index.scan_hops", is.scan_hops);
+      metrics_->add("index.scan_reroutes", is.scan_reroutes);
+      metrics_->add("index.failed_scans", is.failed_scans);
+      metrics_->add("index.scanned_postings", is.scanned_postings);
+      metrics_->add("index.false_positives", is.false_positives);
+      metrics_->add("index.stale_postings", is.stale_postings);
+      metrics_->set("index.postings", static_cast<double>(index_->postings()));
     }
   }
 

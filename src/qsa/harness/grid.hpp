@@ -15,6 +15,8 @@
 #include "qsa/engine/engine.hpp"
 #include "qsa/fault/fault.hpp"
 #include "qsa/harness/config.hpp"
+#include "qsa/index/attribute_index.hpp"
+#include "qsa/index/dht_discovery.hpp"
 #include "qsa/metrics/counters.hpp"
 #include "qsa/metrics/timeseries.hpp"
 #include "qsa/net/network.hpp"
@@ -123,6 +125,17 @@ class GridSimulation {
   [[nodiscard]] registry::ServiceDirectory& directory() noexcept {
     return *directory_;
   }
+  /// The discovery backend candidate lookups actually route through: the
+  /// attribute index under --discovery=dht, the directory otherwise.
+  [[nodiscard]] registry::DiscoveryBackend& discovery() noexcept {
+    return dht_ != nullptr
+               ? static_cast<registry::DiscoveryBackend&>(*dht_)
+               : static_cast<registry::DiscoveryBackend&>(*directory_);
+  }
+  /// The attribute index; non-null iff `config.discovery == kDht`.
+  [[nodiscard]] const index::AttributeIndex* attribute_index() const noexcept {
+    return index_.get();
+  }
   /// The sim-free serving facade the simulation routes every aggregation
   /// through (the same engine a serving loop runs; DESIGN.md §13).
   [[nodiscard]] engine::ServingEngine& engine() noexcept { return *engine_; }
@@ -226,6 +239,10 @@ class GridSimulation {
   std::unique_ptr<overlay::LookupService> ring_;
   registry::PlacementMap placement_;
   std::unique_ptr<registry::ServiceDirectory> directory_;
+  // The --discovery=dht backend pair; null in directory mode (knobs-off
+  // construction is unchanged).
+  std::unique_ptr<index::AttributeIndex> index_;
+  std::unique_ptr<index::DhtDiscovery> dht_;
   std::unique_ptr<probe::NeighborResolution> neighbors_;
   std::unique_ptr<engine::ServingEngine> engine_;
   std::unique_ptr<session::SessionManager> manager_;

@@ -1,0 +1,42 @@
+#include "qsa/index/dht_discovery.hpp"
+
+namespace qsa::index {
+
+registry::DiscoveryStats DhtDiscovery::discover_into(
+    const registry::DiscoveryQuery& query, const net::NetworkModel* net,
+    sim::SimTime /*now*/, std::vector<registry::InstanceId>& out) const {
+  RangeQuery rq;
+  rq.service = query.service;
+  if (query.session_duration > sim::SimTime::zero()) {
+    rq.min_uptime_min = query.session_duration.as_minutes();
+  }
+  if (query.is_sink && query.requirement != nullptr) {
+    if (const auto level = query.requirement->get(level_param_)) {
+      rq.min_level = level->lo();
+    }
+  }
+  const QueryStats qs = index_.query_into(rq, query.from, net, out);
+  if (lookups_ != nullptr) {
+    lookups_->add();
+    lookup_hops_->observe(qs.hops);
+    lookup_latency_->observe(static_cast<double>(qs.latency.as_millis()));
+  }
+  return {qs.hops, qs.latency};
+}
+
+void DhtDiscovery::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    lookups_ = nullptr;
+    lookup_hops_ = nullptr;
+    lookup_latency_ = nullptr;
+    return;
+  }
+  // Same shape as the directory's lookup metrics, under the index.*
+  // namespace; the harness only attaches us when the backend is enabled, so
+  // knobs-off exports never see these names.
+  lookups_ = &metrics->counter("index.lookups");
+  lookup_hops_ = &metrics->histogram("index.lookup_hops");
+  lookup_latency_ = &metrics->histogram("index.lookup_latency_ms");
+}
+
+}  // namespace qsa::index

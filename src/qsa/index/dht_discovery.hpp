@@ -1,0 +1,62 @@
+// DiscoveryBackend over the attribute index: tier-1a candidate lookup as a
+// multi-attribute range query routed through the overlay (DESIGN.md §15).
+//
+// Registration maintenance delegates to the AttributeIndex (seeded by the
+// injected clock, since the backend interface's publish calls carry no
+// timestamp). Discovery pushes the two predicates the request context
+// actually supports down into the index scan:
+//   * uptime >= session_duration — the selector's uptime heuristic applied
+//     at discovery time, so providers that cannot cover the session never
+//     enter the candidate set;
+//   * quality level >= requirement floor — only on the sink hop, whose Qout
+//     the end-to-end requirement constrains.
+// CPU/bandwidth predicates exist in the index (RangeQuery) but the serving
+// path does not use them: capacity is a *availability* question answered by
+// probing live state, not by publish-time registrations.
+#pragma once
+
+#include "qsa/engine/clock.hpp"
+#include "qsa/index/attribute_index.hpp"
+#include "qsa/registry/backend.hpp"
+
+namespace qsa::index {
+
+class DhtDiscovery final : public registry::DiscoveryBackend {
+ public:
+  DhtDiscovery(AttributeIndex& index, qos::ParamId level_param,
+               const engine::Clock& clock)
+      : index_(index), level_param_(level_param), clock_(clock) {}
+
+  void publish(registry::InstanceId instance) override {
+    index_.publish(instance, clock_.now());
+  }
+  void publish_all() override { index_.publish_all(clock_.now()); }
+  void unpublish(registry::InstanceId instance) override {
+    index_.unpublish(instance);
+  }
+  /// Departure needs no eager action: the departed peer's postings age out
+  /// through the index's epoch sweep (soft state), and there is no
+  /// requester-side cache to drop.
+  void peer_departed(net::PeerId /*peer*/) override {}
+  void provider_retired(registry::InstanceId instance,
+                        net::PeerId host) override {
+    index_.remove(instance, host);
+  }
+
+  registry::DiscoveryStats discover_into(
+      const registry::DiscoveryQuery& query, const net::NetworkModel* net,
+      sim::SimTime now, std::vector<registry::InstanceId>& out) const override;
+
+  void set_metrics(obs::MetricsRegistry* metrics) override;
+
+ private:
+  AttributeIndex& index_;
+  qos::ParamId level_param_;
+  const engine::Clock& clock_;
+
+  obs::Counter* lookups_ = nullptr;
+  obs::Histogram* lookup_hops_ = nullptr;
+  obs::Histogram* lookup_latency_ = nullptr;
+};
+
+}  // namespace qsa::index

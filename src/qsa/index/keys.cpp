@@ -1,0 +1,19 @@
+#include "qsa/index/keys.hpp"
+
+namespace qsa::index {
+
+std::string_view to_string(Attribute a) {
+  switch (a) {
+    case Attribute::kCpu:
+      return "cpu";
+    case Attribute::kBandwidth:
+      return "bandwidth";
+    case Attribute::kUptime:
+      return "uptime";
+    case Attribute::kLevel:
+      return "level";
+  }
+  return "?";
+}
+
+}  // namespace qsa::index

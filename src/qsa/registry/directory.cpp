@@ -14,8 +14,11 @@ overlay::Key ServiceDirectory::key_of(ServiceId service) const {
 }
 
 void ServiceDirectory::publish(InstanceId instance) {
-  ring_.insert(key_of(catalog_.instance(instance).service), instance);
-  cache_.invalidate();
+  const ServiceId service = catalog_.instance(instance).service;
+  ring_.insert(key_of(service), instance);
+  // Scoped invalidation: only this service's candidate list changed, so
+  // cached discoveries for every other service stay warm.
+  cache_.invalidate(service);
 }
 
 void ServiceDirectory::publish_all() {
@@ -27,8 +30,9 @@ void ServiceDirectory::publish_all() {
 }
 
 void ServiceDirectory::unpublish(InstanceId instance) {
-  ring_.erase(key_of(catalog_.instance(instance).service), instance);
-  cache_.invalidate();
+  const ServiceId service = catalog_.instance(instance).service;
+  ring_.erase(key_of(service), instance);
+  cache_.invalidate(service);
 }
 
 void ServiceDirectory::set_metrics(obs::MetricsRegistry* metrics) {

@@ -17,6 +17,7 @@
 #include "qsa/cache/discovery_cache.hpp"
 #include "qsa/obs/registry.hpp"
 #include "qsa/overlay/lookup.hpp"
+#include "qsa/registry/backend.hpp"
 #include "qsa/registry/catalog.hpp"
 #include "qsa/registry/placement.hpp"
 
@@ -28,26 +29,34 @@ struct Discovery {
   sim::SimTime latency;               ///< summed lookup latency
 };
 
-/// The routing cost of one discovery, without the candidate list (that is
-/// written into the caller's buffer by discover_into()).
-struct DiscoveryStats {
-  int hops = 0;
-  sim::SimTime latency;
-};
-
-class ServiceDirectory {
+class ServiceDirectory final : public DiscoveryBackend {
  public:
   ServiceDirectory(std::uint64_t seed, overlay::LookupService& ring,
                    const ServiceCatalog& catalog);
 
-  /// Publishes one instance under its service key.
-  void publish(InstanceId instance);
+  /// Publishes one instance under its service key. Invalidates only that
+  /// service's cached discovery — unrelated cached entries stay warm.
+  void publish(InstanceId instance) override;
 
   /// Publishes every catalog instance (bootstrap and periodic republish).
-  void publish_all();
+  void publish_all() override;
 
-  /// Removes one instance's registration.
-  void unpublish(InstanceId instance);
+  /// Removes one instance's registration (same per-service invalidation
+  /// scope as publish()).
+  void unpublish(InstanceId instance) override;
+
+  /// DiscoveryBackend departure hook: a departed peer took part of the key
+  /// space (and possibly providers of any service) with it, so the whole
+  /// cache drops.
+  void peer_departed(net::PeerId) override { invalidate_cache(); }
+
+  /// Replica retirement: the instance stays published (other providers
+  /// remain), but cached candidate lists were handed out against the wider
+  /// pool — drop them all, like the departure path (the directory keys no
+  /// state on (instance, host), so a narrower scope has nothing to target).
+  void provider_retired(InstanceId, net::PeerId) override {
+    invalidate_cache();
+  }
 
   /// Chord lookup of the candidate instances for `service`, routed from
   /// `from`. `net` (optional) prices per-hop latency. `now` feeds the TTL'd
@@ -66,20 +75,29 @@ class ServiceDirectory {
                                const net::NetworkModel* net, sim::SimTime now,
                                std::vector<InstanceId>& out) const;
 
+  /// DiscoveryBackend entry point: the directory answers by service key
+  /// alone — the query's range predicates are ignored (composition and
+  /// selection filter downstream), which is exactly the pre-seam behaviour.
+  DiscoveryStats discover_into(const DiscoveryQuery& query,
+                               const net::NetworkModel* net, sim::SimTime now,
+                               std::vector<InstanceId>& out) const override {
+    return discover_into(query.service, query.from, net, now, out);
+  }
+
   /// Enables the TTL'd discovery cache (zero, the default, disables it —
   /// accounting is then byte-identical to a cacheless directory).
   void set_cache_ttl(sim::SimTime ttl) { cache_.set_ttl(ttl); }
 
-  /// Drops every cached discovery. The directory calls this itself on
-  /// publish/unpublish; the harness calls it on peer departure (the one
-  /// registration change the directory does not hear about directly).
+  /// Drops every cached discovery — the peer-departure invalidation scope
+  /// (a departure can affect any service's candidate list). publish and
+  /// unpublish use the narrower per-service invalidate instead.
   void invalidate_cache() const { cache_.invalidate(); }
 
   /// Attaches observability (optional; null detaches). Records per-lookup
   /// `directory.lookup_hops` and `directory.lookup_latency_ms` histograms
   /// plus a `directory.lookups` counter; when the discovery cache is
   /// enabled, also its `cache.discovery.*` counters.
-  void set_metrics(obs::MetricsRegistry* metrics);
+  void set_metrics(obs::MetricsRegistry* metrics) override;
 
  private:
   [[nodiscard]] overlay::Key key_of(ServiceId service) const;

@@ -23,7 +23,7 @@ constexpr double kPostTripKeep = 0.5;
 ReplicaManager::ReplicaManager(std::uint64_t seed, const ReplicaConfig& config,
                                const registry::ServiceCatalog& catalog,
                                registry::PlacementMap& placement,
-                               registry::ServiceDirectory& directory,
+                               registry::DiscoveryBackend& discovery,
                                const net::PeerTable& peers,
                                const net::NetworkModel& net,
                                const qos::TupleWeights& weights,
@@ -31,7 +31,7 @@ ReplicaManager::ReplicaManager(std::uint64_t seed, const ReplicaConfig& config,
     : config_(config),
       catalog_(catalog),
       placement_(placement),
-      directory_(directory),
+      discovery_(discovery),
       peers_(peers),
       net_(net),
       selector_(weights, schema),
@@ -209,10 +209,10 @@ void ReplicaManager::maybe_replicate(registry::InstanceId instance,
   // spec, same R, same b — it passes exactly the satisfies/resource checks
   // the originals passed at catalog generation.
   placement_.add_provider(instance, record.host);
-  // The normal overlay publish path; like any publish it re-inserts the
-  // soft-state registration and invalidates cached discoveries for the
-  // service, so requesters see the widened pool at their next lookup.
-  directory_.publish(instance);
+  // The normal overlay publish path; like any publish it re-registers the
+  // soft-state registration (and, on the indexed backend, mints the clone's
+  // postings), so requesters see the widened pool at their next lookup.
+  discovery_.publish(instance);
 
   st.score *= kPostTripKeep;
   ++st.replica_count;
@@ -225,9 +225,10 @@ void ReplicaManager::maybe_replicate(registry::InstanceId instance,
 void ReplicaManager::retire(std::size_t index) {
   const ReplicaRecord& r = records_[index];
   placement_.remove_provider(r.instance, r.host);
-  // Narrowing the pool changes what discovery should hand out; drop cached
-  // candidate lists like the unpublish path would.
-  directory_.invalidate_cache();
+  // Narrowing the pool changes what discovery should hand out; the backend
+  // drops cached candidate lists (directory) or the clone's own postings
+  // (attribute index).
+  discovery_.provider_retired(r.instance, r.host);
   auto it = state_.find(r.instance);
   if (it != state_.end() && it->second.replica_count > 0) {
     --it->second.replica_count;

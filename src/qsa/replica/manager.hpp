@@ -30,8 +30,8 @@
 #include "qsa/net/peer.hpp"
 #include "qsa/obs/registry.hpp"
 #include "qsa/qos/resources.hpp"
+#include "qsa/registry/backend.hpp"
 #include "qsa/registry/catalog.hpp"
-#include "qsa/registry/directory.hpp"
 #include "qsa/registry/placement.hpp"
 #include "qsa/replica/config.hpp"
 #include "qsa/sim/time.hpp"
@@ -62,7 +62,7 @@ class ReplicaManager {
   ReplicaManager(std::uint64_t seed, const ReplicaConfig& config,
                  const registry::ServiceCatalog& catalog,
                  registry::PlacementMap& placement,
-                 registry::ServiceDirectory& directory,
+                 registry::DiscoveryBackend& discovery,
                  const net::PeerTable& peers, const net::NetworkModel& net,
                  const qos::TupleWeights& weights,
                  const qos::ResourceSchema& schema);
@@ -144,7 +144,7 @@ class ReplicaManager {
   ReplicaConfig config_;
   const registry::ServiceCatalog& catalog_;
   registry::PlacementMap& placement_;
-  registry::ServiceDirectory& directory_;
+  registry::DiscoveryBackend& discovery_;
   const net::PeerTable& peers_;
   const net::NetworkModel& net_;
   core::PeerSelector selector_;

@@ -88,6 +88,23 @@ void reject_unknown_flags(const Flags& flags, std::string_view program) {
   std::exit(2);
 }
 
+void reject_unknown_choice(std::string_view program, std::string_view name,
+                           std::string_view value,
+                           const std::string_view* choices,
+                           std::size_t count) {
+  std::fprintf(stderr, "%.*s: unknown value '%.*s' for --%.*s\nusage: --%.*s=",
+               static_cast<int>(program.size()), program.data(),
+               static_cast<int>(value.size()), value.data(),
+               static_cast<int>(name.size()), name.data(),
+               static_cast<int>(name.size()), name.data());
+  for (std::size_t i = 0; i < count; ++i) {
+    std::fprintf(stderr, "%s%.*s", i == 0 ? "" : "|",
+                 static_cast<int>(choices[i].size()), choices[i].data());
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
 std::string Flags::get(std::string_view name, std::string_view def) const {
   auto v = raw(name);
   return v ? *v : std::string(def);

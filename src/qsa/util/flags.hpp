@@ -55,6 +55,41 @@ class Flags {
 /// last get*() lookup.
 void reject_unknown_flags(const Flags& flags, std::string_view program);
 
+/// One admissible value of an enum-valued flag.
+template <typename T>
+struct Choice {
+  std::string_view name;
+  T value;
+};
+
+/// Shared teeth behind get_choice(): report `value` as inadmissible for
+/// `--name`, list the choices, and exit with status 2 (the unknown-flag
+/// status — a value typo is as fatal as a flag typo).
+[[noreturn]] void reject_unknown_choice(std::string_view program,
+                                        std::string_view name,
+                                        std::string_view value,
+                                        const std::string_view* choices,
+                                        std::size_t count);
+
+/// Enum-valued flag lookup: `--name=<choice>` (or QSA_<NAME>) matched
+/// against `choices` by exact name; absent uses `def`. An inadmissible
+/// value prints the choice list to stderr and exits 2 — it never falls
+/// back to the default, so a typo cannot silently run the wrong
+/// experiment.
+template <typename T, std::size_t N>
+[[nodiscard]] T get_choice(const Flags& flags, std::string_view name,
+                           const Choice<T> (&choices)[N], T def,
+                           std::string_view program) {
+  const auto v = flags.raw(name);
+  if (!v) return def;
+  for (const Choice<T>& c : choices) {
+    if (*v == c.name) return c.value;
+  }
+  std::string_view names[N];
+  for (std::size_t i = 0; i < N; ++i) names[i] = choices[i].name;
+  reject_unknown_choice(program, name, *v, names, N);
+}
+
 /// Parses a comma-separated list of doubles, e.g. "50,100,200".
 [[nodiscard]] std::vector<double> parse_double_list(std::string_view text);
 

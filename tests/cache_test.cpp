@@ -312,6 +312,38 @@ TEST_F(CachedDirectoryFixture, RepublishAndUnpublishInvalidate) {
   EXPECT_EQ(reg.counter("cache.discovery.invalidations").value, 2u);
 }
 
+TEST_F(CachedDirectoryFixture, PublishInvalidatesOnlyItsOwnService) {
+  // The hit-rate regression pinning scoped invalidation: a single-service
+  // publish/unpublish must not evict other services' warm entries (it used
+  // to drop the whole cache, costing every service a re-route).
+  const registry::ServiceId s1 = catalog.add_service("b");
+  const registry::InstanceId j0 = catalog.add_instance(make_instance(s1));
+  registry::ServiceDirectory dir(1, ring, catalog);
+  dir.set_cache_ttl(sim::SimTime::minutes(10));
+  obs::MetricsRegistry reg;
+  dir.set_metrics(&reg);
+  dir.publish_all();
+
+  (void)dir.discover(s0, 5, nullptr, sim::SimTime::zero());
+  (void)dir.discover(s1, 5, nullptr, sim::SimTime::zero());
+  EXPECT_EQ(reg.counter("cache.discovery.misses").value, 2u);
+
+  // Registration churn on s0 only: s1's entry stays warm.
+  dir.unpublish(i1);
+  dir.publish(i1);
+  const auto warm = dir.discover(s1, 5, nullptr, sim::SimTime::seconds(1));
+  EXPECT_EQ(warm.instances, (std::vector<registry::InstanceId>{j0}));
+  EXPECT_EQ(warm.hops, 0);
+  EXPECT_EQ(reg.counter("cache.discovery.hits").value, 1u);
+  EXPECT_EQ(reg.counter("directory.lookups").value, 2u);  // no re-route of s1
+
+  // s0's entry did drop: its next discover routes again and sees i1 back.
+  const auto cold = dir.discover(s0, 5, nullptr, sim::SimTime::seconds(2));
+  EXPECT_EQ(cold.instances, (std::vector<registry::InstanceId>{i0, i1}));
+  EXPECT_EQ(reg.counter("cache.discovery.misses").value, 3u);
+  EXPECT_EQ(reg.counter("directory.lookups").value, 3u);
+}
+
 TEST_F(CachedDirectoryFixture, DisabledCacheRegistersNoCacheMetrics) {
   registry::ServiceDirectory dir(1, ring, catalog);
   obs::MetricsRegistry reg;

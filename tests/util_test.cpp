@@ -409,6 +409,53 @@ TEST(Flags, RejectUnknownFlagsReturnsWhenAllQueried) {
   reject_unknown_flags(f, "prog");  // must not exit
 }
 
+namespace {
+enum class Fruit { kApple, kBanana };
+constexpr Choice<Fruit> kFruits[] = {
+    {"apple", Fruit::kApple},
+    {"banana", Fruit::kBanana},
+};
+}  // namespace
+
+TEST(Flags, GetChoiceReturnsMatchedValue) {
+  const char* argv[] = {"prog", "--fruit=banana"};
+  Flags f(2, argv);
+  EXPECT_EQ(get_choice(f, "fruit", kFruits, Fruit::kApple, "prog"),
+            Fruit::kBanana);
+  EXPECT_TRUE(f.unknown().empty());  // get_choice consults the flag
+}
+
+TEST(Flags, GetChoiceDefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags f(1, argv);
+  EXPECT_EQ(get_choice(f, "fruit", kFruits, Fruit::kBanana, "prog"),
+            Fruit::kBanana);
+}
+
+TEST(Flags, GetChoiceReadsEnvironmentFallback) {
+  ::setenv("QSA_FRUIT", "apple", 1);
+  const char* argv[] = {"prog"};
+  Flags f(1, argv);
+  EXPECT_EQ(get_choice(f, "fruit", kFruits, Fruit::kBanana, "prog"),
+            Fruit::kApple);
+  ::unsetenv("QSA_FRUIT");
+}
+
+TEST(FlagsDeathTest, GetChoiceExitsTwoOnUnknownValue) {
+  const char* argv[] = {"prog", "--fruit=pear"};
+  Flags f(2, argv);
+  EXPECT_EXIT((void)get_choice(f, "fruit", kFruits, Fruit::kApple, "prog"),
+              ::testing::ExitedWithCode(2),
+              "unknown value 'pear' for --fruit");
+}
+
+TEST(FlagsDeathTest, GetChoiceUsageListsChoices) {
+  const char* argv[] = {"prog", "--fruit=pear"};
+  Flags f(2, argv);
+  EXPECT_EXIT((void)get_choice(f, "fruit", kFruits, Fruit::kApple, "prog"),
+              ::testing::ExitedWithCode(2), "--fruit=apple\\|banana");
+}
+
 TEST(ParseDoubleList, Basic) {
   const auto v = parse_double_list("50,100,200.5");
   ASSERT_EQ(v.size(), 3u);

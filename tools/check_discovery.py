@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Gate on the discovery-backend ablation measured by bench/ablation_discovery.
+
+Reads the bench's --json-out report (directory/dht cell pairs over a
+population x churn sweep) and fails unless, for every dht cell:
+
+  * completion: the cell served requests, answered range scans, and lost
+    none of them (the sweep runs fault-free, so failed_scans must be 0);
+  * scan cost: routing hops per range scan <= --hops-slope * log2(N) +
+    --hops-span (defaults 4 and 140 — the O(log N) first leg plus a bounded
+    on-arc span term; a per-bucket O(log N) regression blows through this
+    at any population);
+  * psi parity: psi(dht) >= psi(directory) - --psi-tolerance for the same
+    (N, churn) cell (default 0.2 — predicate pushdown may shift individual
+    outcomes but must not collapse the success ratio);
+  * exactness: the quantization false-positive rate (dropped by the client
+    re-check) <= --max-fp-rate (default 0.9 — the scan must stay a useful
+    filter, not a full-table transfer).
+
+Usage:
+    ablation_discovery --json-out=BENCH_discovery.json
+    python3 tools/check_discovery.py BENCH_discovery.json \
+        [--hops-slope=4] [--hops-span=140] [--psi-tolerance=0.2] \
+        [--max-fp-rate=0.9] [--json-out=FILE]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+from gate_common import add_json_out_arg, write_json_out
+
+GATE = "check_discovery"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="ablation_discovery --json-out report")
+    parser.add_argument("--hops-slope", type=float, default=4.0,
+                        help="log2(N) coefficient of the per-scan hop bound "
+                             "(default 4)")
+    parser.add_argument("--hops-span", type=float, default=140.0,
+                        help="constant span term of the per-scan hop bound "
+                             "(default 140)")
+    parser.add_argument("--psi-tolerance", type=float, default=0.2,
+                        help="max psi shortfall of dht vs the directory "
+                             "baseline per cell (default 0.2)")
+    parser.add_argument("--max-fp-rate", type=float, default=0.9,
+                        help="max quantization false-positive rate "
+                             "(default 0.9)")
+    add_json_out_arg(parser)
+    opts = parser.parse_args()
+    thresholds = {"hops_slope": opts.hops_slope,
+                  "hops_span": opts.hops_span,
+                  "psi_tolerance": opts.psi_tolerance,
+                  "max_fp_rate": opts.max_fp_rate}
+
+    try:
+        with open(opts.report, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"unusable report {opts.report}: {err}")
+        write_json_out(opts.json_out, GATE, False, 2, thresholds, {})
+        return 2
+
+    cells = report.get("cells", [])
+    directory = {(c["peers"], c["churn"]): c for c in cells
+                 if c.get("backend") == "directory"}
+    dht = [c for c in cells if c.get("backend") == "dht"]
+    if not dht or not directory:
+        print("report holds no directory/dht cell pair")
+        write_json_out(opts.json_out, GATE, False, 2, thresholds, {})
+        return 2
+
+    ok = True
+    measured = {"cells": []}
+    for cell in dht:
+        n, churn = cell["peers"], cell["churn"]
+        label = f"N={n} churn={churn:g}"
+        scans = cell.get("scans", 0)
+        scanned = cell.get("scanned_postings", 0)
+        hops_per_scan = cell.get("scan_hops", 0) / scans if scans else 0.0
+        fp_rate = cell.get("false_positives", 0) / scanned if scanned else 0.0
+        bound = opts.hops_slope * math.log2(n) + opts.hops_span
+
+        completed = (cell.get("requests", 0) > 0 and scans > 0
+                     and cell.get("failed_scans", 0) == 0)
+        hops_fine = hops_per_scan <= bound
+        fp_fine = fp_rate <= opts.max_fp_rate
+
+        base = directory.get((n, churn))
+        psi_floor = (base["psi"] - opts.psi_tolerance) if base else None
+        psi_fine = base is not None and cell["psi"] >= psi_floor
+
+        for cond, what in ((completed, "completed fault-free"),
+                           (hops_fine,
+                            f"hops/scan {hops_per_scan:.2f} <= {bound:.1f}"),
+                           (fp_fine,
+                            f"fp rate {fp_rate:.3f} <= {opts.max_fp_rate}"),
+                           (psi_fine,
+                            f"psi {cell['psi']:.3f} >= "
+                            f"{psi_floor if psi_floor is not None else 'n/a'}")):
+            print(f"{'PASS' if cond else 'FAIL'}  {label}: {what}")
+            ok = ok and cond
+        measured["cells"].append({
+            "peers": n, "churn": churn, "psi": cell["psi"],
+            "hops_per_scan": round(hops_per_scan, 3),
+            "fp_rate": round(fp_rate, 4),
+            "failed_scans": cell.get("failed_scans", 0)})
+
+    print(f"\n{GATE}: {'OK' if ok else 'FAILED'}")
+    write_json_out(opts.json_out, GATE, ok, 0 if ok else 1, thresholds,
+                   measured)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
