@@ -16,6 +16,8 @@
 //        --rate=R         requests/min at N=10^4; scaled by N/10^4
 //        --churn=C        churn events/min at N=10^4; scaled by N/10^4
 //        --net-model=K    paper | coords (default coords: O(N) state)
+//        --shards=K       pool shards for the order-free bootstrap phases
+//                         (default 1; output identical for any K)
 //        --seed=S, --json-out=FILE, --csv
 #include <sys/resource.h>
 #include <sys/wait.h>
@@ -39,6 +41,8 @@ using namespace qsa;
 struct CellResult {
   unsigned long long peers = 0;
   double bootstrap_ms = 0;
+  double boot_peers_ms = 0;    ///< peer creation + deferred joins
+  double boot_overlay_ms = 0;  ///< stabilize_all (pool at --shards>1)
   double run_ms = 0;
   unsigned long long rss_kb = 0;  ///< peak resident set (VmHWM)
   double psi = 0;
@@ -64,11 +68,13 @@ unsigned long long peak_rss_kb() {
 
 harness::GridConfig make_config(std::size_t n, double minutes,
                                 double base_rate, double base_churn,
-                                net::NetModelKind model, std::uint64_t seed) {
+                                net::NetModelKind model, std::uint64_t seed,
+                                std::size_t shards) {
   harness::GridConfig cfg;
   cfg.seed = seed;
   cfg.peers = n;
   cfg.net_model = model;
+  cfg.shards = shards;
   const double factor = static_cast<double>(n) / 1e4;
   cfg.requests.rate_per_min = base_rate * factor;
   cfg.churn.events_per_min = base_churn * factor;
@@ -83,8 +89,9 @@ void run_cell_child(const harness::GridConfig& cfg, int fd) {
   harness::GridSimulation grid(cfg);
   const auto r = grid.run();
   const auto& prof = grid.profile_report();
-  dprintf(fd, "%llu %.3f %.3f %llu %.6f %llu %llu %llu %llu\n",
+  dprintf(fd, "%llu %.3f %.3f %.3f %.3f %llu %.6f %llu %llu %llu %llu\n",
           static_cast<unsigned long long>(cfg.peers), prof.bootstrap_ms,
+          prof.bootstrap_peers_ms, prof.bootstrap_overlay_ms,
           prof.run_ms, peak_rss_kb(), r.success_ratio(),
           static_cast<unsigned long long>(r.requests),
           static_cast<unsigned long long>(grid.network().active_pairs()),
@@ -114,8 +121,9 @@ bool run_cell(const harness::GridConfig& cfg, CellResult& out) {
   const int parsed =
       in == nullptr
           ? 0
-          : std::fscanf(in, "%llu %lf %lf %llu %lf %llu %llu %llu %llu",
-                        &out.peers, &out.bootstrap_ms, &out.run_ms,
+          : std::fscanf(in, "%llu %lf %lf %lf %lf %llu %lf %llu %llu %llu %llu",
+                        &out.peers, &out.bootstrap_ms, &out.boot_peers_ms,
+                        &out.boot_overlay_ms, &out.run_ms,
                         &out.rss_kb, &out.psi, &out.requests,
                         &out.active_pairs, &out.touched_pairs,
                         &out.resident_slots);
@@ -127,7 +135,7 @@ bool run_cell(const harness::GridConfig& cfg, CellResult& out) {
                  status);
     return false;
   }
-  return parsed == 9;
+  return parsed == 11;
 }
 
 std::vector<std::size_t> parse_ns(const std::string& list) {
@@ -161,6 +169,7 @@ int main(int argc, char** argv) {
   const net::NetModelKind model =
       util::get_choice(flags, "net-model", kNetModels,
                        net::NetModelKind::kCoords, "bench_scaling_curve");
+  const auto shards = static_cast<std::size_t>(flags.get_int("shards", 1));
   const std::string model_name(net::to_string(model));
   util::reject_unknown_flags(flags, "bench_scaling_curve");
   if (ns.empty()) {
@@ -170,30 +179,33 @@ int main(int argc, char** argv) {
 
   std::printf("=== Scaling curve: wall/RSS/footprints vs population ===\n");
   std::printf("net model %s, %.4g min horizon, %.4g req/min and %.4g "
-              "churn/min per 10^4 peers, seed %llu\n\n",
-              model_name.c_str(), minutes, base_rate, base_churn,
+              "churn/min per 10^4 peers, %zu shard(s), seed %llu\n\n",
+              model_name.c_str(), minutes, base_rate, base_churn, shards,
               static_cast<unsigned long long>(seed));
 
   std::vector<CellResult> cells;
   for (const std::size_t n : ns) {
     const auto cfg =
-        make_config(n, minutes, base_rate, base_churn, model, seed);
+        make_config(n, minutes, base_rate, base_churn, model, seed, shards);
     CellResult cell;
     if (!run_cell(cfg, cell)) return 1;
-    std::printf("N=%-9llu bootstrap %9.1f ms  run %9.1f ms  rss %8llu kB  "
-                "psi %.3f\n",
-                cell.peers, cell.bootstrap_ms, cell.run_ms, cell.rss_kb,
-                cell.psi);
+    std::printf("N=%-9llu bootstrap %9.1f ms (joins %8.1f, overlay %8.1f)  "
+                "run %9.1f ms  rss %8llu kB  psi %.3f\n",
+                cell.peers, cell.bootstrap_ms, cell.boot_peers_ms,
+                cell.boot_overlay_ms, cell.run_ms, cell.rss_kb, cell.psi);
     cells.push_back(cell);
   }
   std::printf("\n");
 
-  metrics::Table table({"peers", "bootstrap_ms", "run_ms", "rss_kb", "psi",
+  metrics::Table table({"peers", "bootstrap_ms", "boot_peers_ms",
+                        "boot_overlay_ms", "run_ms", "rss_kb", "psi",
                         "requests", "active_pairs", "touched_pairs",
                         "resident_slots"});
   for (const auto& c : cells) {
     table.add_row({metrics::Table::num(static_cast<double>(c.peers), 0),
                    metrics::Table::num(c.bootstrap_ms, 1),
+                   metrics::Table::num(c.boot_peers_ms, 1),
+                   metrics::Table::num(c.boot_overlay_ms, 1),
                    metrics::Table::num(c.run_ms, 1),
                    metrics::Table::num(static_cast<double>(c.rss_kb), 0),
                    metrics::Table::num(c.psi, 3),
@@ -218,11 +230,13 @@ int main(int argc, char** argv) {
     }
     os << "{\"bench\":\"bench_scaling_curve\",\"net_model\":\"" << model_name
        << "\",\"minutes\":" << minutes << ",\"seed\":" << seed
-       << ",\"cells\":[";
+       << ",\"shards\":" << shards << ",\"cells\":[";
     for (std::size_t i = 0; i < cells.size(); ++i) {
       const auto& c = cells[i];
       if (i > 0) os << ',';
       os << "{\"peers\":" << c.peers << ",\"bootstrap_ms\":" << c.bootstrap_ms
+         << ",\"boot_peers_ms\":" << c.boot_peers_ms
+         << ",\"boot_overlay_ms\":" << c.boot_overlay_ms
          << ",\"run_ms\":" << c.run_ms << ",\"rss_kb\":" << c.rss_kb
          << ",\"psi\":" << c.psi << ",\"requests\":" << c.requests
          << ",\"active_pairs\":" << c.active_pairs

@@ -62,6 +62,10 @@ void print_usage() {
       "  --track-load       provider-load concentration accounting without\n"
       "                     replication (implied by --replication)\n"
       "  --seed=S           root seed (default 42)\n"
+      "  --shards=K         worker shards for the order-free phases: K>1\n"
+      "                     fans the bootstrap's overlay stabilization out\n"
+      "                     over the shared thread pool (default 1; output\n"
+      "                     is byte-identical for any K)\n"
       "  --profile          wall-clock the bootstrap and event-loop phases\n"
       "                     (summary on stderr; with --metrics-out, also\n"
       "                     perf.* gauges — host timings, non-deterministic)\n"
@@ -122,6 +126,7 @@ int main(int argc, char** argv) {
   cfg.replication.max_replicas = static_cast<int>(
       flags.get_int("max-replicas", cfg.replication.max_replicas));
   cfg.track_load = flags.get_bool("track-load", false);
+  cfg.shards = static_cast<std::size_t>(flags.get_int("shards", 1));
   cfg.profile = flags.get_bool("profile", false);
   const std::string trace_out = flags.get("trace-out", "");
   const std::string metrics_out = flags.get("metrics-out", "");
@@ -287,9 +292,11 @@ int main(int argc, char** argv) {
     // stderr, so stdout stays identical to an unprofiled run.
     const harness::ProfileReport& p = grid.profile_report();
     std::fprintf(stderr,
-                 "profile: bootstrap %.1f ms, run %.1f ms, %llu events "
+                 "profile: bootstrap %.1f ms (peers %.1f, overlay %.1f, "
+                 "placement %.1f, publish %.1f), run %.1f ms, %llu events "
                  "(%.3g events/sec), queue peak %zu\n",
-                 p.bootstrap_ms, p.run_ms,
+                 p.bootstrap_ms, p.bootstrap_peers_ms, p.bootstrap_overlay_ms,
+                 p.bootstrap_placement_ms, p.bootstrap_publish_ms, p.run_ms,
                  static_cast<unsigned long long>(p.events), p.events_per_sec,
                  p.queue_peak);
   }

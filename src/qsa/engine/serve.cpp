@@ -1,11 +1,10 @@
 #include "qsa/engine/serve.hpp"
 
-#include <barrier>
 #include <chrono>
-#include <thread>
 #include <vector>
 
 #include "qsa/util/expects.hpp"
+#include "qsa/util/thread_pool.hpp"
 
 namespace qsa::engine {
 
@@ -96,28 +95,31 @@ ServeStats serve_parallel(std::span<const ShardLoop> shards,
   QSA_EXPECTS(!shards.empty());
   for (const ShardLoop& loop : shards) check_loop(loop);
 
-  // The completion step runs on exactly one thread once every shard has
-  // arrived at the warmup/counted boundary.
-  std::barrier sync(static_cast<std::ptrdiff_t>(shards.size()), [&]() noexcept {
-    if (on_steady) on_steady();
-  });
+  util::ThreadPool& pool = util::shared_pool();
 
+  // Per-shard loop state, built before the steady boundary so the counted
+  // region performs no allocation: the cursors and scratch plans persist
+  // across the two parallel_for phases, and both phase closures are
+  // materialized up front (the measured one must not be constructed after
+  // on_steady — a >16-byte capture would heap-allocate its target).
   std::vector<ServeStats> stats(shards.size());
-  std::vector<std::thread> threads;
-  threads.reserve(shards.size());
-  for (std::size_t i = 0; i < shards.size(); ++i) {
-    threads.emplace_back([&, i] {
-      const ShardLoop& loop = shards[i];
-      core::AggregationPlan plan;
-      std::size_t pool_at = 0;
-      run_phase(loop, loop.warmup, /*counted=*/false, pool_at, plan,
-                stats[i]);
-      sync.arrive_and_wait();
-      run_phase(loop, loop.requests, /*counted=*/true, pool_at, plan,
-                stats[i]);
-    });
-  }
-  for (std::thread& t : threads) t.join();
+  std::vector<core::AggregationPlan> plans(shards.size());
+  std::vector<std::size_t> cursors(shards.size(), 0);
+  const std::function<void(std::size_t)> warm_fn = [&](std::size_t i) {
+    run_phase(shards[i], shards[i].warmup, /*counted=*/false, cursors[i],
+              plans[i], stats[i]);
+  };
+  const std::function<void(std::size_t)> counted_fn = [&](std::size_t i) {
+    run_phase(shards[i], shards[i].requests, /*counted=*/true, cursors[i],
+              plans[i], stats[i]);
+  };
+
+  // Two pool phases with a natural barrier between them: parallel_for
+  // returns only when every shard's warmup is done. The warmup phase also
+  // primes the pool's task slab, so the counted phase reuses its capacity.
+  pool.parallel_for(shards.size(), warm_fn);
+  if (on_steady) on_steady();
+  pool.parallel_for(shards.size(), counted_fn);
 
   ServeStats merged;
   for (const ServeStats& s : stats) merged.merge(s);

@@ -61,12 +61,14 @@ struct ShardLoop {
 /// performs no heap allocation.
 [[nodiscard]] ServeStats serve_shard(const ShardLoop& loop);
 
-/// Runs every shard on its own thread. All shards finish warmup before any
-/// enters its counted phase (a barrier separates the phases); `on_steady`,
-/// when given, runs exactly once — on one thread, after the barrier,
-/// before any counted request — so callers can snapshot allocation
-/// counters or start a wall clock at the steady-state boundary. Returns
-/// the merged stats.
+/// Runs every shard on the shared worker pool (util::shared_pool) as two
+/// parallel_for phases with per-shard cursors carried across them. All
+/// shards finish warmup before any enters its counted phase; `on_steady`,
+/// when given, runs exactly once — on the calling thread, between the
+/// phases, before any counted request — so callers can snapshot allocation
+/// counters or start a wall clock at the steady-state boundary. Everything
+/// after on_steady is allocation-free: the pool's task slab and the phase
+/// closures are built during warmup. Returns the merged stats.
 [[nodiscard]] ServeStats serve_parallel(std::span<const ShardLoop> shards,
                                         const std::function<void()>& on_steady = {});
 

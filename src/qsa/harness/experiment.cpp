@@ -11,7 +11,12 @@ namespace qsa::harness {
 std::vector<ExperimentResult> ExperimentRunner::run(
     std::span<const ExperimentCell> cells) const {
   std::vector<ExperimentResult> results(cells.size());
-  util::ThreadPool pool(threads_);
+  // Default thread count draws from the process-wide pool (one thread owner
+  // per process); an explicit count still gets a dedicated pool of that
+  // exact size, since shared_pool() is always hardware-sized.
+  std::unique_ptr<util::ThreadPool> own =
+      threads_ == 0 ? nullptr : std::make_unique<util::ThreadPool>(threads_);
+  util::ThreadPool& pool = own ? *own : util::shared_pool();
   pool.parallel_for(cells.size(), [&](std::size_t i) {
     // Each cell owns an independent simulation; results land at the cell's
     // index so output order never depends on scheduling.

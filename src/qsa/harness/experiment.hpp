@@ -37,7 +37,8 @@ struct ExperimentResult {
 
 class ExperimentRunner {
  public:
-  /// `threads` = 0: one per hardware thread.
+  /// `threads` = 0: the process-wide shared pool (one worker per hardware
+  /// thread); an explicit count gets a dedicated pool of that size.
   explicit ExperimentRunner(std::size_t threads = 0) : threads_(threads) {}
 
   [[nodiscard]] std::vector<ExperimentResult> run(

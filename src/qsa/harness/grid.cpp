@@ -10,6 +10,7 @@
 #include "qsa/overlay/pastry_overlay.hpp"
 #include "qsa/qos/translator.hpp"
 #include "qsa/util/expects.hpp"
+#include "qsa/util/thread_pool.hpp"
 #include "qsa/workload/generator.hpp"
 
 namespace qsa::harness {
@@ -223,10 +224,19 @@ GridSimulation::GridSimulation(GridConfig config)
 GridSimulation::~GridSimulation() = default;
 
 void GridSimulation::bootstrap() {
+  using WallClock = std::chrono::steady_clock;
+  const auto phase_ms = [](WallClock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(WallClock::now() - t0)
+        .count();
+  };
+
   // Peers, pre-aged so uptimes are meaningful at t = 0. Deferred joins:
-  // nothing routes until the stabilize_all() below, which (re)builds every
+  // nothing routes until the stabilize below, which (re)builds every
   // finger table wholesale — per-join finger computation would be thrown
-  // away, and skipping it roughly halves million-peer bootstrap.
+  // away, and skipping it roughly halves million-peer bootstrap. The RNG
+  // draws are a strict sequence, so this loop stays serial at any shard
+  // count.
+  auto t = WallClock::now();
   peers_->reserve(config_.peers);
   for (std::size_t i = 0; i < config_.peers; ++i) {
     const double tier =
@@ -237,9 +247,17 @@ void GridSimulation::bootstrap() {
                          sim::SimTime::minutes(-age_min));
     ring_->join_deferred(id);
   }
-  ring_->stabilize_all();
+  profile_.bootstrap_peers_ms = phase_ms(t);
+
+  // Finger-table rebuild: per-node state is a pure function of the
+  // membership snapshot, so shards>1 fans it out over the shared pool with
+  // byte-identical results (the overlay decides whether to bother).
+  t = WallClock::now();
+  ring_->stabilize_all_on(config_.shards > 1 ? &util::shared_pool() : nullptr);
+  profile_.bootstrap_overlay_ms = phase_ms(t);
 
   // Placement: each instance gets 40-80 distinct random providers.
+  t = WallClock::now();
   for (registry::InstanceId inst = 0; inst < catalog_.instance_count();
        ++inst) {
     const int copies = static_cast<int>(grid_rng_.uniform_int(
@@ -252,8 +270,11 @@ void GridSimulation::bootstrap() {
     }
     for (net::PeerId p : chosen) placement_.add_provider(inst, p);
   }
+  profile_.bootstrap_placement_ms = phase_ms(t);
 
+  t = WallClock::now();
   discovery().publish_all();
+  profile_.bootstrap_publish_ms = phase_ms(t);
 }
 
 core::AggregationPlan GridSimulation::submit_request(
@@ -766,6 +787,14 @@ GridResult GridSimulation::run() {
     profile_.queue_peak = simulator_.max_pending_events();
     if (metrics_ != nullptr) {
       metrics_->set("perf.wall_ms.bootstrap", profile_.bootstrap_ms);
+      metrics_->set("perf.wall_ms.bootstrap_peers",
+                    profile_.bootstrap_peers_ms);
+      metrics_->set("perf.wall_ms.bootstrap_overlay",
+                    profile_.bootstrap_overlay_ms);
+      metrics_->set("perf.wall_ms.bootstrap_placement",
+                    profile_.bootstrap_placement_ms);
+      metrics_->set("perf.wall_ms.bootstrap_publish",
+                    profile_.bootstrap_publish_ms);
       metrics_->set("perf.wall_ms.run", profile_.run_ms);
       metrics_->set("perf.wall_ms.aggregate", profile_.aggregate_ms);
       metrics_->set("perf.wall_ms.admission", profile_.admission_ms);

@@ -79,6 +79,12 @@ struct GridResult {
 /// measurements: useful for perf work, never fed back into the simulation.
 struct ProfileReport {
   double bootstrap_ms = 0;    ///< construction + population bootstrap
+  // Bootstrap sub-phases (sum to ~bootstrap_ms; the residual is catalog
+  // and subsystem construction outside the four loops):
+  double bootstrap_peers_ms = 0;      ///< peer creation + overlay joins
+  double bootstrap_overlay_ms = 0;    ///< stabilize_all (pool at shards>1)
+  double bootstrap_placement_ms = 0;  ///< provider placement draws
+  double bootstrap_publish_ms = 0;    ///< directory publish_all
   double run_ms = 0;          ///< the discrete-event loop
   double aggregate_ms = 0;    ///< summed wall time inside aggregate()
   double admission_ms = 0;    ///< summed wall time inside start_session()

@@ -1,0 +1,459 @@
+#include "qsa/harness/shard_world.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+
+#include "qsa/obs/registry.hpp"
+#include "qsa/overlay/can_overlay.hpp"
+#include "qsa/overlay/chord_ring.hpp"
+#include "qsa/overlay/pastry_overlay.hpp"
+#include "qsa/util/expects.hpp"
+#include "qsa/util/thread_pool.hpp"
+
+namespace qsa::harness {
+
+namespace {
+
+/// Message discriminators. Values are digest-stable: they feed the fault
+/// hash, so renumbering would change fault verdicts.
+enum MsgKind : std::uint32_t {
+  kTick = 1,        ///< per-peer heartbeat (self-message)
+  kProbeReq = 2,    ///< QoS probe toward a random target
+  kProbeRsp = 3,    ///< probe reply carrying the target's load
+  kNotify = 4,      ///< freshness notify to the id-successor
+  kLookupReq = 5,   ///< message to the overlay-resolved owner of a key
+  kLookupRsp = 6,   ///< owner's reply
+  kReserveReq = 7,  ///< bandwidth reservation ask, sent to the pair owner
+  kReserveRsp = 8,  ///< grant / denial
+  kRelease = 9      ///< owner-side hold expiry (self-message)
+};
+
+[[nodiscard]] std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffU;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+[[nodiscard]] std::uint64_t fnv1a_f64(std::uint64_t h, double v) noexcept {
+  return fnv1a(h, std::bit_cast<std::uint64_t>(v));
+}
+
+[[nodiscard]] double uniform01(std::uint64_t h) noexcept {
+  return static_cast<double>(util::mix64(h) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+/// All mutable simulation state, owned by exactly one peer. Handlers write
+/// only the state of the message's destination peer — the contract that
+/// makes equal-time events on different shards commute.
+struct ShardWorld::PeerState {
+  util::Rng rng;
+  std::uint32_t send_seq = 0;   ///< key material: per-peer send counter
+  std::uint32_t fault_seq = 0;  ///< per-peer loss-verdict attempt counter
+  std::uint32_t ticks = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_rx = 0;
+  std::uint64_t probes_acked = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t notifies_rx = 0;
+  std::uint64_t notify_digest = 0;
+  std::uint64_t lookups_done = 0;
+  std::uint64_t lookups_served = 0;
+  std::uint64_t hops = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t denials = 0;
+  std::uint64_t releases = 0;
+  double score_sum = 0.0;
+  /// Owner-side reservation ledger for pairs whose lower id is this peer.
+  struct Held {
+    std::uint64_t pair = 0;
+    double kbps = 0.0;
+  };
+  std::vector<Held> held;
+  double reserved_kbps = 0.0;
+};
+
+ShardWorld::ShardWorld(const ShardWorldConfig& cfg)
+    : cfg_(cfg), net_(cfg.seed, net::ProbeClock(), cfg.net_model) {
+  QSA_EXPECTS(cfg_.peers >= 2);
+  QSA_EXPECTS(cfg_.peers < (1u << 21));  // peer id must fit under the key seq
+  QSA_EXPECTS(cfg_.shards >= 1 && cfg_.shards <= cfg_.peers);
+  QSA_EXPECTS(cfg_.shards < 65536);
+  QSA_EXPECTS(cfg_.min_delay >= sim::SimTime::millis(1));
+  QSA_EXPECTS(cfg_.tick_period >= sim::SimTime::millis(1));
+
+  switch (cfg_.overlay) {
+    case OverlayKind::kChord:
+      overlay_ = std::make_unique<overlay::ChordRing>(cfg_.seed);
+      break;
+    case OverlayKind::kCan:
+      overlay_ = std::make_unique<overlay::CanOverlay>(cfg_.seed);
+      break;
+    case OverlayKind::kPastry:
+      overlay_ = std::make_unique<overlay::PastryOverlay>(cfg_.seed);
+      break;
+  }
+  for (std::size_t p = 0; p < cfg_.peers; ++p) {
+    overlay_->join_deferred(static_cast<net::PeerId>(p));
+  }
+  overlay_->stabilize_all();
+
+  // Partition: coordinate stripes under kCoords (peers near in latency
+  // space land on the same shard, minimizing mailbox traffic), stable hash
+  // of the id otherwise.
+  shard_map_.resize(cfg_.peers);
+  for (std::size_t p = 0; p < cfg_.peers; ++p) {
+    if (cfg_.net_model == net::NetModelKind::kCoords) {
+      const double x = net_.coordinate(static_cast<net::PeerId>(p)).first;
+      auto stripe = static_cast<std::size_t>(x * static_cast<double>(cfg_.shards));
+      shard_map_[p] =
+          static_cast<std::uint16_t>(std::min(stripe, cfg_.shards - 1));
+    } else {
+      shard_map_[p] = static_cast<std::uint16_t>(
+          util::derive_seed(cfg_.seed, "shard-of", p) % cfg_.shards);
+    }
+  }
+
+  peers_.resize(cfg_.peers);
+  for (std::size_t p = 0; p < cfg_.peers; ++p) {
+    peers_[p].rng.reseed(util::derive_seed(cfg_.seed, "shard-peer", p));
+  }
+
+  const sim::SimTime derived =
+      std::max(cfg_.min_delay, net::NetworkModel::min_latency());
+  if (cfg_.lookahead_override > sim::SimTime::zero()) {
+    // A smaller-than-necessary lookahead stays correct (narrower windows,
+    // more epochs); a larger one would break conservativeness.
+    QSA_EXPECTS(cfg_.lookahead_override <= derived);
+    lookahead_ = cfg_.lookahead_override;
+  } else {
+    lookahead_ = derived;
+  }
+
+  sim::ShardRuntime::Config rc;
+  rc.shards = cfg_.shards;
+  rc.lookahead = lookahead_;
+  rc.mailbox_capacity = cfg_.mailbox_capacity;
+  std::vector<sim::ShardHandler*> handlers(cfg_.shards, this);
+  runtime_ = std::make_unique<sim::ShardRuntime>(
+      rc, shard_map_, std::move(handlers),
+      cfg_.shards > 1 ? &util::shared_pool() : nullptr);
+
+  // Stagger the heartbeats across one period so load is flat from t=0.
+  const std::int64_t tick_ms = cfg_.tick_period.as_millis();
+  for (std::size_t p = 0; p < cfg_.peers; ++p) {
+    sim::ShardMessage m;
+    m.at = sim::SimTime::millis(1 + static_cast<std::int64_t>(p) % tick_ms);
+    m.kind = kTick;
+    m.dst_peer = static_cast<std::uint32_t>(p);
+    m.src_peer = m.dst_peer;
+    m.key = next_key(peers_[p], m.dst_peer);
+    runtime_->inject(m);
+  }
+}
+
+ShardWorld::~ShardWorld() = default;
+
+std::uint64_t ShardWorld::next_key(PeerState& ps,
+                                   std::uint32_t peer) noexcept {
+  // Globally unique: peer in the low 21 bits, the peer's own send counter
+  // above. Derived from simulation state only — never from enqueue order —
+  // so the (time, key) total order is the same for every K.
+  return (static_cast<std::uint64_t>(ps.send_seq++) << 21) | peer;
+}
+
+sim::SimTime ShardWorld::delay(net::PeerId a, net::PeerId b) const {
+  return std::max(cfg_.min_delay, net_.latency(a, b));
+}
+
+bool ShardWorld::dropped(PeerState& sender, net::PeerId a, net::PeerId b,
+                         std::uint32_t kind) {
+  if (!cfg_.faults) return false;
+  const std::uint64_t h =
+      util::derive_seed(cfg_.seed, "shard-fault", net::NetworkModel::pair_key(a, b),
+                        util::hash_combine(kind, sender.fault_seq++));
+  if (uniform01(h) >= cfg_.loss) return false;
+  ++sender.drops;
+  return true;
+}
+
+void ShardWorld::on_message(sim::ShardContext& ctx,
+                            const sim::ShardMessage& m) {
+  PeerState& ps = peers_[m.dst_peer];
+  switch (m.kind) {
+    case kTick:
+      on_tick(ctx, m);
+      break;
+    case kProbeReq:
+      on_probe_req(ctx, m);
+      break;
+    case kProbeRsp:
+      on_probe_rsp(m);
+      break;
+    case kNotify:
+      ++ps.notifies_rx;
+      ps.notify_digest = util::hash_combine(
+          ps.notify_digest, util::hash_combine(m.src_peer, m.a));
+      break;
+    case kLookupReq: {
+      ++ps.lookups_served;
+      if (!dropped(ps, m.dst_peer, m.src_peer, kLookupRsp)) {
+        sim::ShardMessage rsp;
+        rsp.at = ctx.now() + delay(m.dst_peer, m.src_peer);
+        rsp.kind = kLookupRsp;
+        rsp.dst_peer = m.src_peer;
+        rsp.src_peer = m.dst_peer;
+        rsp.key = next_key(ps, m.dst_peer);
+        ctx.send(rsp);
+      }
+      break;
+    }
+    case kLookupRsp:
+      ++ps.lookups_done;
+      break;
+    case kReserveReq:
+      on_reserve_req(ctx, m);
+      break;
+    case kReserveRsp:
+      if (m.a != 0) {
+        ++ps.grants;
+      } else {
+        ++ps.denials;
+      }
+      break;
+    case kRelease: {
+      for (std::size_t i = 0; i < ps.held.size(); ++i) {
+        if (ps.held[i].pair == m.a) {
+          ps.reserved_kbps -= ps.held[i].kbps;
+          ps.held.erase(ps.held.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      ++ps.releases;
+      break;
+    }
+    default:
+      QSA_ASSERT(false);
+  }
+}
+
+void ShardWorld::on_tick(sim::ShardContext& ctx, const sim::ShardMessage& m) {
+  const auto p = m.dst_peer;
+  PeerState& ps = peers_[p];
+  const auto n = static_cast<std::uint32_t>(cfg_.peers);
+  ++ps.ticks;
+
+  // QoS probes toward random targets.
+  for (int f = 0; f < cfg_.probe_fanout; ++f) {
+    auto q = static_cast<std::uint32_t>(ps.rng.index(n - 1));
+    if (q >= p) ++q;
+    ++ps.probes_sent;
+    if (dropped(ps, p, q, kProbeReq)) continue;
+    sim::ShardMessage probe;
+    probe.at = ctx.now() + delay(p, q);
+    probe.kind = kProbeReq;
+    probe.dst_peer = q;
+    probe.src_peer = p;
+    probe.key = next_key(ps, p);
+    ctx.send(probe);
+  }
+
+  // Freshness notify to the id-successor (a ring of long-lived edges — the
+  // traffic pattern coordinate striping keeps mostly intra-shard).
+  {
+    const std::uint32_t succ = (p + 1) % n;
+    if (!dropped(ps, p, succ, kNotify)) {
+      sim::ShardMessage notify;
+      notify.at = ctx.now() + delay(p, succ);
+      notify.kind = kNotify;
+      notify.dst_peer = succ;
+      notify.src_peer = p;
+      notify.a = static_cast<std::uint64_t>(ctx.now().as_millis());
+      notify.key = next_key(ps, p);
+      ctx.send(notify);
+    }
+  }
+
+  // Overlay lookup: route on the real (read-only) overlay, then message the
+  // owner with the routed latency.
+  if (cfg_.lookup_every > 0 &&
+      ps.ticks % static_cast<std::uint32_t>(cfg_.lookup_every) == 0) {
+    const overlay::Key key = ps.rng();
+    const overlay::LookupStats st = overlay_->route(key, p, &net_);
+    if (st.ok()) {
+      ps.hops += static_cast<std::uint64_t>(st.hops);
+      if (!dropped(ps, p, st.owner, kLookupReq)) {
+        sim::ShardMessage req;
+        req.at = ctx.now() + std::max(delay(p, st.owner), st.latency);
+        req.kind = kLookupReq;
+        req.dst_peer = st.owner;
+        req.src_peer = p;
+        req.key = next_key(ps, p);
+        ctx.send(req);
+      }
+    }
+  }
+
+  // Bandwidth reservation on a random pair, asked of the pair's owner (the
+  // lower-id endpoint, which holds the pair's ledger slice).
+  if (cfg_.reserve_every > 0 &&
+      ps.ticks % static_cast<std::uint32_t>(cfg_.reserve_every) == 0) {
+    auto q = static_cast<std::uint32_t>(ps.rng.index(n - 1));
+    if (q >= p) ++q;
+    const std::uint32_t owner = std::min(p, q);
+    if (!dropped(ps, p, owner, kReserveReq)) {
+      sim::ShardMessage req;
+      req.at = ctx.now() + delay(p, owner);
+      req.kind = kReserveReq;
+      req.dst_peer = owner;
+      req.src_peer = p;
+      req.a = std::max(p, q);  // the pair's other endpoint
+      req.x = cfg_.reserve_kbps;
+      req.key = next_key(ps, p);
+      ctx.send(req);
+    }
+  }
+
+  // Re-arm while another tick still lands inside the horizon.
+  if (ctx.now() + cfg_.tick_period <= cfg_.horizon) {
+    sim::ShardMessage tick;
+    tick.at = ctx.now() + cfg_.tick_period;
+    tick.kind = kTick;
+    tick.dst_peer = p;
+    tick.src_peer = p;
+    tick.key = next_key(ps, p);
+    ctx.send(tick);
+  }
+}
+
+void ShardWorld::on_probe_req(sim::ShardContext& ctx,
+                              const sim::ShardMessage& m) {
+  PeerState& ps = peers_[m.dst_peer];
+  ++ps.probes_rx;
+  if (dropped(ps, m.dst_peer, m.src_peer, kProbeRsp)) return;
+  sim::ShardMessage rsp;
+  rsp.at = ctx.now() + delay(m.dst_peer, m.src_peer);
+  rsp.kind = kProbeRsp;
+  rsp.dst_peer = m.src_peer;
+  rsp.src_peer = m.dst_peer;
+  // The probed load snapshot: grants weigh more than probe chatter.
+  rsp.x = static_cast<double>(ps.probes_rx) * 0.125 +
+          static_cast<double>(ps.grants + ps.lookups_served) + ps.reserved_kbps / 64.0;
+  rsp.key = next_key(ps, m.dst_peer);
+  ctx.send(rsp);
+}
+
+void ShardWorld::on_probe_rsp(const sim::ShardMessage& m) {
+  // Φ-style scoring (Definition 3.1's shape): normalized headroom over the
+  // resource kinds plus a bandwidth term, weighted evenly. Pure arithmetic
+  // on IEEE doubles — bit-stable across shard counts because each peer
+  // accumulates its responses in (time, key) order.
+  PeerState& ps = peers_[m.dst_peer];
+  ++ps.probes_acked;
+  const double avail = 1.0 / (1.0 + m.x);
+  double kinds = 0.0;
+  for (int k = 0; k < 4; ++k) {
+    const double r = avail * (1.0 + 0.25 * static_cast<double>(k));
+    kinds += 0.25 * (r / (1.0 + r));
+  }
+  const double cap = net_.capacity_kbps(m.dst_peer, m.src_peer);
+  const double bw = cap / (cap + 500.0);
+  ps.score_sum += 0.5 * kinds + 0.5 * bw * avail;
+}
+
+void ShardWorld::on_reserve_req(sim::ShardContext& ctx,
+                                const sim::ShardMessage& m) {
+  PeerState& ps = peers_[m.dst_peer];
+  const std::uint32_t requester = m.src_peer;
+  const auto partner = static_cast<std::uint32_t>(m.a);
+  const std::uint64_t pair = net::NetworkModel::pair_key(requester, partner);
+  double in_use = 0.0;
+  for (const PeerState::Held& h : ps.held) {
+    if (h.pair == pair) in_use += h.kbps;
+  }
+  const bool grant =
+      in_use + m.x <= net_.capacity_kbps(requester, partner);
+  if (grant) {
+    ps.held.push_back(PeerState::Held{pair, m.x});
+    ps.reserved_kbps += m.x;
+    sim::ShardMessage release;
+    release.at = ctx.now() + cfg_.reserve_hold;
+    release.kind = kRelease;
+    release.dst_peer = m.dst_peer;
+    release.src_peer = m.dst_peer;
+    release.a = pair;
+    release.key = next_key(ps, m.dst_peer);
+    ctx.send(release);
+  }
+  if (!dropped(ps, m.dst_peer, requester, kReserveRsp)) {
+    sim::ShardMessage rsp;
+    rsp.at = ctx.now() + delay(m.dst_peer, requester);
+    rsp.kind = kReserveRsp;
+    rsp.dst_peer = requester;
+    rsp.src_peer = m.dst_peer;
+    rsp.a = grant ? 1 : 0;
+    rsp.key = next_key(ps, m.dst_peer);
+    ctx.send(rsp);
+  }
+}
+
+ShardWorldResult ShardWorld::run(obs::MetricsRegistry* metrics) {
+  runtime_->run(cfg_.horizon);
+  const sim::ShardRuntime::Stats& rs = runtime_->stats();
+
+  ShardWorldResult r;
+  r.runtime = rs;
+  r.events = rs.events;
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::size_t p = 0; p < peers_.size(); ++p) {
+    const PeerState& ps = peers_[p];
+    h = fnv1a(h, p);
+    h = fnv1a(h, ps.ticks);
+    h = fnv1a(h, ps.send_seq);
+    h = fnv1a(h, ps.fault_seq);
+    h = fnv1a(h, ps.probes_sent);
+    h = fnv1a(h, ps.probes_rx);
+    h = fnv1a(h, ps.probes_acked);
+    h = fnv1a(h, ps.drops);
+    h = fnv1a(h, ps.notifies_rx);
+    h = fnv1a(h, ps.notify_digest);
+    h = fnv1a(h, ps.lookups_done);
+    h = fnv1a(h, ps.lookups_served);
+    h = fnv1a(h, ps.hops);
+    h = fnv1a(h, ps.grants);
+    h = fnv1a(h, ps.denials);
+    h = fnv1a(h, ps.releases);
+    h = fnv1a_f64(h, ps.score_sum);
+    h = fnv1a_f64(h, ps.reserved_kbps);
+    r.probes_sent += ps.probes_sent;
+    r.probes_acked += ps.probes_acked;
+    r.drops += ps.drops;
+    r.notifies += ps.notifies_rx;
+    r.lookups += ps.lookups_done;
+    r.hops += ps.hops;
+    r.grants += ps.grants;
+    r.denials += ps.denials;
+    r.score_sum += ps.score_sum;
+  }
+  r.digest = h;
+
+  if (metrics != nullptr) {
+    metrics->counter("sim.barrier_epochs").add(rs.epochs);
+    metrics->counter("sim.cross_shard_msgs").add(rs.cross_shard);
+    metrics->counter("sim.mailbox_spills").add(rs.spilled);
+    metrics->set("sim.shard_idle_ms", rs.idle_ms);
+    metrics->set("sim.mailbox_high_water",
+                 static_cast<double>(rs.mailbox_high_water));
+    for (std::size_t s = 0; s < rs.shard_events.size(); ++s) {
+      metrics->counter("sim.shard_events." + std::to_string(s))
+          .add(rs.shard_events[s]);
+    }
+  }
+  return r;
+}
+
+}  // namespace qsa::harness

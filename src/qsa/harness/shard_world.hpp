@@ -1,0 +1,138 @@
+// The sharded message-plane workload: every interaction the grid's peers
+// have — QoS probes, neighbor notifies, overlay lookups, bandwidth
+// reservations — expressed as explicit peer-to-peer messages over the real
+// NetworkModel and the real overlay router, executed on sim::ShardRuntime.
+//
+// This is the model that carries the parallel-simulation guarantees:
+//
+//  * K-invariance. All mutable state is per-peer; a handler writes only the
+//    destination peer of the message it is executing (pair-scoped
+//    reservation state lives on the lower-id endpoint, which owns the
+//    pair). Every send carries a key derived from (sender peer, per-peer
+//    send counter), so the (time, key) total order — and therefore the
+//    merged result digest — is byte-identical for every shard count.
+//    Shared read-only structures (the network model's pure latency/capacity
+//    hashes, the overlay's const route()) are safe to touch from any shard.
+//
+//  * Conservative lookahead. Every message delay is
+//    max(min_delay, net latency) >= NetworkModel::min_latency(), which is
+//    exactly the lookahead handed to the runtime; raising `min_delay` (and
+//    overriding the lookahead) widens the epoch window — the lookahead
+//    correctness test exercises both directions.
+//
+// Message loss is derived sender-side from a pure hash of
+// (seed, pair, channel, per-peer attempt counter) — the same
+// bit-reproducible idiom as qsa::fault, restated here because FaultPlan's
+// per-channel attempt sequence is process-global mutable state and handlers
+// may only touch per-peer state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "qsa/harness/config.hpp"
+#include "qsa/net/network.hpp"
+#include "qsa/overlay/lookup.hpp"
+#include "qsa/sim/shard_runtime.hpp"
+#include "qsa/util/rng.hpp"
+
+namespace qsa::obs {
+class MetricsRegistry;
+}
+
+namespace qsa::harness {
+
+struct ShardWorldConfig {
+  std::uint64_t seed = 42;
+  std::size_t peers = 512;
+  std::size_t shards = 1;
+  OverlayKind overlay = OverlayKind::kChord;
+  net::NetModelKind net_model = net::NetModelKind::kPaper;
+  sim::SimTime horizon = sim::SimTime::seconds(60);
+
+  // --- workload shape ---
+  sim::SimTime tick_period = sim::SimTime::millis(500);
+  int probe_fanout = 3;     ///< probe targets per tick
+  int lookup_every = 4;     ///< ticks between overlay lookups
+  int reserve_every = 8;    ///< ticks between reservation attempts
+  sim::SimTime reserve_hold = sim::SimTime::seconds(5);
+  double reserve_kbps = 64.0;
+
+  // --- faults (message-plane loss; pure-hash, bit-reproducible) ---
+  bool faults = false;
+  double loss = 0.05;
+
+  // --- lookahead controls ---
+  /// Floor on every message delay (>= 1 ms). The conservative window is
+  /// max(min_delay, NetworkModel::min_latency()) unless overridden.
+  sim::SimTime min_delay = sim::SimTime::millis(1);
+  /// Non-zero: run the epochs with this lookahead instead of the derived
+  /// one. Must not exceed the true delay floor (asserted) — a *smaller*
+  /// value stays correct and just forces narrower windows, which is what
+  /// the lookahead-correctness test measures.
+  sim::SimTime lookahead_override = sim::SimTime::zero();
+  std::size_t mailbox_capacity = 1024;
+};
+
+struct ShardWorldResult {
+  std::uint64_t digest = 0;  ///< order-sensitive merge of per-peer state
+  std::uint64_t events = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_acked = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t notifies = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t hops = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t denials = 0;
+  double score_sum = 0.0;
+  sim::ShardRuntime::Stats runtime;
+};
+
+class ShardWorld final : public sim::ShardHandler {
+ public:
+  explicit ShardWorld(const ShardWorldConfig& cfg);
+  ~ShardWorld() override;
+
+  /// Runs to the configured horizon and merges per-peer state in peer-id
+  /// order. `metrics` (optional) receives the per-shard runtime counters:
+  /// sim.barrier_epochs, sim.shard_idle_ms, sim.mailbox_high_water,
+  /// sim.shard_events.<s>.
+  ShardWorldResult run(obs::MetricsRegistry* metrics = nullptr);
+
+  /// The effective conservative window (derived or overridden).
+  [[nodiscard]] sim::SimTime lookahead() const noexcept { return lookahead_; }
+  /// The owning shard of each peer (hash of id, or coordinate stripes under
+  /// kCoords). Exposed for tests.
+  [[nodiscard]] const std::vector<std::uint16_t>& shard_map() const noexcept {
+    return shard_map_;
+  }
+
+  void on_message(sim::ShardContext& ctx, const sim::ShardMessage& m) override;
+
+ private:
+  struct PeerState;
+
+  [[nodiscard]] std::uint64_t next_key(PeerState& ps,
+                                       std::uint32_t peer) noexcept;
+  [[nodiscard]] sim::SimTime delay(net::PeerId a, net::PeerId b) const;
+  /// Sender-side loss verdict; advances the sender's attempt counter.
+  [[nodiscard]] bool dropped(PeerState& sender, net::PeerId a, net::PeerId b,
+                             std::uint32_t kind);
+
+  void on_tick(sim::ShardContext& ctx, const sim::ShardMessage& m);
+  void on_probe_req(sim::ShardContext& ctx, const sim::ShardMessage& m);
+  void on_probe_rsp(const sim::ShardMessage& m);
+  void on_reserve_req(sim::ShardContext& ctx, const sim::ShardMessage& m);
+
+  ShardWorldConfig cfg_;
+  sim::SimTime lookahead_;
+  net::NetworkModel net_;
+  std::unique_ptr<overlay::LookupService> overlay_;
+  std::vector<std::uint16_t> shard_map_;
+  std::vector<PeerState> peers_;
+  std::unique_ptr<sim::ShardRuntime> runtime_;
+};
+
+}  // namespace qsa::harness

@@ -80,6 +80,11 @@ class ChordRing final : public LookupService {
   /// Refreshes every finger table (used after bulk bootstrap joins).
   void stabilize_all() override;
 
+  /// Parallel full refresh: every node's fingers are a pure function of the
+  /// shared sorted key snapshot, so the per-node rebuilds fan out over the
+  /// pool and land byte-identical to the serial walk.
+  void stabilize_all_on(util::ThreadPool* pool) override;
+
   /// The node key owning `key` resolved against the live ring (oracle view,
   /// for tests).
   [[nodiscard]] net::PeerId owner_of(ChordKey key) const override;

@@ -1,0 +1,203 @@
+#include "qsa/sim/shard_runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "qsa/util/expects.hpp"
+#include "qsa/util/thread_pool.hpp"
+
+namespace qsa::sim {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+[[nodiscard]] double ms_since(WallClock::time_point t0) noexcept {
+  return std::chrono::duration<double, std::milli>(WallClock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+SimTime ShardContext::now() const noexcept {
+  return rt_->shards_[shard_].sim.now();
+}
+
+void ShardContext::send(const ShardMessage& m) { rt_->route(shard_, m); }
+
+ShardRuntime::ShardRuntime(Config cfg, std::vector<std::uint16_t> shard_map,
+                           std::vector<ShardHandler*> handlers,
+                           util::ThreadPool* pool)
+    : cfg_(cfg),
+      shard_map_(std::move(shard_map)),
+      handlers_(std::move(handlers)),
+      pool_(pool) {
+  QSA_EXPECTS(cfg_.shards >= 1);
+  QSA_EXPECTS(cfg_.lookahead >= SimTime::millis(1));
+  QSA_EXPECTS(handlers_.size() == cfg_.shards);
+  QSA_EXPECTS(cfg_.shards == 1 || pool_ != nullptr);
+  for (std::uint16_t s : shard_map_) QSA_EXPECTS(s < cfg_.shards);
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    Shard& shard = shards_.emplace_back();
+    shard.ctx.rt_ = this;
+    shard.ctx.shard_ = static_cast<std::uint32_t>(s);
+  }
+  if (cfg_.shards > 1) {
+    for (std::size_t i = 0; i < cfg_.shards * cfg_.shards; ++i) {
+      edges_.emplace_back(cfg_.mailbox_capacity);
+    }
+  }
+  stats_.shard_events.assign(cfg_.shards, 0);
+}
+
+void ShardRuntime::inject(const ShardMessage& m) {
+  QSA_EXPECTS(m.dst_peer < shard_map_.size());
+  deliver_local(shard_map_[m.dst_peer], m);
+}
+
+void ShardRuntime::deliver_local(std::uint32_t shard, const ShardMessage& m) {
+  Shard& sh = shards_[shard];
+  std::uint32_t slot;
+  if (!sh.free_slots.empty()) {
+    slot = sh.free_slots.back();
+    sh.free_slots.pop_back();
+    sh.arena[slot] = m;
+  } else {
+    slot = static_cast<std::uint32_t>(sh.arena.size());
+    sh.arena.push_back(m);
+  }
+  // The action captures 16 bytes — far under the slot's inline capacity —
+  // because the message body lives in the shard's arena, not the capture.
+  sh.sim.schedule_at_keyed(m.at, m.key,
+                           [this, shard, slot] { fire(shard, slot); });
+}
+
+void ShardRuntime::fire(std::uint32_t shard, std::uint32_t slot) {
+  Shard& sh = shards_[shard];
+  const ShardMessage m = sh.arena[slot];  // copy: handlers may grow the arena
+  sh.free_slots.push_back(slot);
+  handlers_[shard]->on_message(sh.ctx, m);
+}
+
+void ShardRuntime::route(std::uint32_t src, const ShardMessage& m) {
+  QSA_EXPECTS(m.dst_peer < shard_map_.size());
+  const std::uint32_t dst = shard_map_[m.dst_peer];
+  if (dst == src) {
+    deliver_local(src, m);
+    return;
+  }
+  // The whole epoch-window argument rests on this floor: a cross-shard
+  // message may not arrive sooner than one lookahead after its send.
+  QSA_ASSERT(m.at >= shards_[src].sim.now() + cfg_.lookahead);
+  Shard& sender = shards_[src];
+  Edge& e = edge(src, dst);
+  ShardMessage stamped = m;
+  stamped.edge_seq = e.push_seq++;
+  ++sender.cross_shard;
+  // Once an edge has spilled, later messages must spill too until the
+  // coordinator drains the backlog: letting them re-enter the ring would
+  // reorder the edge's FIFO (the consumer asserts edge_seq contiguity).
+  if (!e.spill.empty() || !e.ring.try_push(stamped)) {
+    e.spill.push_back(stamped);
+    ++sender.spilled;
+  } else {
+    sender.mailbox_high_water =
+        std::max(sender.mailbox_high_water, e.ring.size());
+  }
+}
+
+void ShardRuntime::drain_inboxes(std::uint32_t dst) {
+  for (std::uint32_t src = 0; src < shards_.size(); ++src) {
+    if (src == dst) continue;
+    Edge& e = edge(src, dst);
+    ShardMessage m;
+    while (e.ring.try_pop(m)) {
+      QSA_ASSERT(m.edge_seq == e.pop_seq);
+      ++e.pop_seq;
+      deliver_local(dst, m);
+    }
+  }
+}
+
+SimTime ShardRuntime::next_time() const noexcept {
+  SimTime lo = SimTime::infinity();
+  for (const Shard& sh : shards_) lo = std::min(lo, sh.sim.queue().next_time());
+  return lo;
+}
+
+void ShardRuntime::run_slice(std::uint32_t shard, SimTime epoch_end) {
+  const auto t0 = WallClock::now();
+  Shard& sh = shards_[shard];
+  // Inbox deliveries are all beyond epoch_end (lookahead floor), so draining
+  // here — while producers may still be pushing — only pre-schedules future
+  // work; anything pushed after this point waits for the coordinator sweep.
+  drain_inboxes(shard);
+  sh.sim.run_until(epoch_end);
+  sh.busy_ms += ms_since(t0);
+}
+
+std::size_t ShardRuntime::run(SimTime horizon) {
+  QSA_EXPECTS(horizon < SimTime::infinity());
+  const std::uint64_t events_before = stats_.events;
+  if (cfg_.shards == 1) {
+    // Fast path: no pool, no mailboxes, no barriers — the keyed queue alone
+    // carries the total order, so this is the plain single-threaded engine.
+    const auto t0 = WallClock::now();
+    shards_[0].sim.run_until(horizon);
+    shards_[0].busy_ms += ms_since(t0);
+  } else {
+    const std::size_t k = shards_.size();
+    std::vector<double> busy_before(k);
+    for (;;) {
+      const SimTime m = next_time();
+      if (m > horizon) break;
+      const SimTime epoch_end =
+          std::min(horizon, m + cfg_.lookahead - SimTime::millis(1));
+      for (std::size_t s = 0; s < k; ++s) busy_before[s] = shards_[s].busy_ms;
+      const auto t0 = WallClock::now();
+      pool_->parallel_for(k, [this, epoch_end](std::size_t s) {
+        run_slice(static_cast<std::uint32_t>(s), epoch_end);
+      });
+      const double region_ms = ms_since(t0);
+      for (std::size_t s = 0; s < k; ++s) {
+        stats_.idle_ms +=
+            std::max(0.0, region_ms - (shards_[s].busy_ms - busy_before[s]));
+      }
+      ++stats_.epochs;
+      // Post-barrier sweep: single-threaded, so the coordinator owns every
+      // ring endpoint and every spill vector here.
+      for (std::uint32_t dst = 0; dst < k; ++dst) {
+        drain_inboxes(dst);
+        for (std::uint32_t src = 0; src < k; ++src) {
+          if (src == dst) continue;
+          Edge& e = edge(src, dst);
+          for (const ShardMessage& m : e.spill) {
+            QSA_ASSERT(m.edge_seq == e.pop_seq);
+            ++e.pop_seq;
+            deliver_local(dst, m);
+          }
+          e.spill.clear();
+        }
+      }
+    }
+  }
+  // Fold per-shard tallies into the cumulative stats snapshot.
+  stats_.events = 0;
+  stats_.cross_shard = 0;
+  stats_.spilled = 0;
+  stats_.mailbox_high_water = 0;
+  stats_.busy_ms = 0.0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& sh = shards_[s];
+    stats_.shard_events[s] = sh.sim.executed_events();
+    stats_.events += sh.sim.executed_events();
+    stats_.cross_shard += sh.cross_shard;
+    stats_.spilled += sh.spilled;
+    stats_.mailbox_high_water =
+        std::max(stats_.mailbox_high_water, sh.mailbox_high_water);
+    stats_.busy_ms += sh.busy_ms;
+  }
+  return static_cast<std::size_t>(stats_.events - events_before);
+}
+
+}  // namespace qsa::sim

@@ -1,0 +1,193 @@
+// Conservative-lookahead parallel discrete-event runtime: partitions a
+// simulation into K shards, each owning a private slab EventQueue, and runs
+// them on the shared worker pool in barrier epochs.
+//
+// ## Why the merged event order is identical for every K
+//
+// The classic conservative-PDES argument (Chandy–Misra lookahead) plus one
+// repo-specific ingredient:
+//
+//  * Epochs. Let m be the earliest pending event time across all shards and
+//    L the lookahead — a lower bound on every cross-shard delivery delay
+//    (here: the network model's minimum link latency, see
+//    net::NetworkModel::min_latency()). Every shard may safely execute all
+//    of its events in the window [m, m+L) without hearing from the others:
+//    any cross-shard message produced by an event at t >= m arrives at
+//    t + delay >= m + L, i.e. beyond the window. Shards rendezvous at the
+//    window edge, mailboxes drain, and the next window starts at the new
+//    global minimum (skip-ahead: idle stretches cost one epoch, not one
+//    epoch per lookahead quantum).
+//
+//  * State-derived tie-break keys. Parallel execution perturbs *enqueue*
+//    order, so equal-time ties must not be broken by sequence numbers the
+//    way the single-threaded engine's (time, seq) order does. Every message
+//    here carries a key derived from simulation state (the sender peer and
+//    its per-peer send counter — see shard_world.cpp), and shard queues
+//    order by (time, key, seq). Keys are unique per timestamp, so seq never
+//    decides, and each shard executes the exact subsequence of one global
+//    (time, key) total order that targets its peers — independent of K and
+//    of thread scheduling. A model whose handlers only touch the
+//    destination peer's state therefore produces byte-identical output for
+//    any K, including K=1 run inline with no threads at all.
+//
+// ## Mailboxes
+//
+// Cross-shard messages travel through K*K bounded SPSC rings
+// (util::SpscRing), one per directed shard pair, stamped with a per-edge
+// sequence number whose contiguity the consumer asserts (a cheap FIFO
+// integrity check). A full ring never blocks the producer — that would
+// deadlock the epoch barrier — it spills to a producer-owned vector that
+// the coordinator drains at the rendezvous. Receivers opportunistically
+// drain their inboxes at the start of their epoch slice (deliveries are
+// beyond the current window by the lookahead argument, so this is safe
+// while producers are still running); the coordinator sweeps the remainder
+// between epochs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "qsa/sim/simulator.hpp"
+#include "qsa/sim/time.hpp"
+#include "qsa/util/spsc_ring.hpp"
+
+namespace qsa::util {
+class ThreadPool;
+}
+
+namespace qsa::sim {
+
+/// One simulation message, addressed to a peer. `kind`/`a`/`b`/`x` are
+/// model-defined payload; the runtime routes on dst_peer and orders on
+/// (at, key).
+struct ShardMessage {
+  SimTime at;                  ///< absolute delivery time
+  std::uint64_t key = 0;       ///< equal-time tie-break; unique per timestamp
+  std::uint32_t dst_peer = 0;  ///< routing address
+  std::uint32_t kind = 0;      ///< model-defined discriminator
+  std::uint32_t edge_seq = 0;  ///< stamped per mailbox edge (FIFO check)
+  std::uint32_t src_peer = 0;  ///< model-defined (also key material)
+  std::uint64_t a = 0;         ///< model-defined payload
+  std::uint64_t b = 0;         ///< model-defined payload
+  double x = 0.0;              ///< model-defined payload
+};
+
+class ShardRuntime;
+
+/// Shard-local view handed to handlers: the shard's clock and the outbound
+/// message path. Only ever touched by the thread currently running the
+/// shard's epoch slice.
+class ShardContext {
+ public:
+  [[nodiscard]] SimTime now() const noexcept;
+  [[nodiscard]] std::uint32_t shard() const noexcept { return shard_; }
+  /// Routes `m` by destination peer: same shard schedules locally, other
+  /// shards go through the mailbox. Cross-shard sends must satisfy
+  /// m.at >= now() + lookahead (asserted) — that delay floor is what makes
+  /// the epoch window safe.
+  void send(const ShardMessage& m);
+
+ private:
+  friend class ShardRuntime;
+  ShardRuntime* rt_ = nullptr;
+  std::uint32_t shard_ = 0;
+};
+
+/// A model plugs in one handler per shard. Handlers own the shard's slice of
+/// model state and must confine writes to the destination peer of the
+/// message being handled (the K-invariance contract above).
+class ShardHandler {
+ public:
+  virtual ~ShardHandler() = default;
+  virtual void on_message(ShardContext& ctx, const ShardMessage& m) = 0;
+};
+
+class ShardRuntime {
+ public:
+  struct Config {
+    std::size_t shards = 1;
+    /// Lower bound on cross-shard delivery delay; must be >= 1 ms.
+    SimTime lookahead = SimTime::millis(1);
+    /// Per-edge mailbox ring capacity (messages); overflow spills.
+    std::size_t mailbox_capacity = 1024;
+  };
+
+  struct Stats {
+    std::uint64_t epochs = 0;         ///< barrier rendezvous count (0 at K=1)
+    std::uint64_t events = 0;         ///< messages executed, all shards
+    std::uint64_t cross_shard = 0;    ///< messages that used a mailbox
+    std::uint64_t spilled = 0;        ///< of those, how many overflowed
+    std::size_t mailbox_high_water = 0;  ///< max ring occupancy seen
+    double idle_ms = 0.0;   ///< summed worker wall-clock spent waiting at
+                            ///< barriers (0 at K=1; not deterministic)
+    double busy_ms = 0.0;   ///< summed worker wall-clock executing events
+    std::vector<std::uint64_t> shard_events;  ///< executed, per shard
+  };
+
+  /// `shard_map[p]` names the owning shard of peer p (values < cfg.shards);
+  /// `handlers` has exactly cfg.shards entries. `pool` is required when
+  /// shards > 1 and ignored at K=1 (which runs inline on the caller).
+  ShardRuntime(Config cfg, std::vector<std::uint16_t> shard_map,
+               std::vector<ShardHandler*> handlers, util::ThreadPool* pool);
+
+  /// Seeds an initial message before (or between) runs. Single-threaded.
+  void inject(const ShardMessage& m);
+
+  /// Runs all shards up to and including `horizon`. Returns executed-event
+  /// count for this call; cumulative figures live in stats().
+  std::size_t run(SimTime horizon);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  friend class ShardContext;
+
+  struct Shard {
+    Simulator sim;
+    ShardContext ctx;
+    std::vector<ShardMessage> arena;      ///< slab of queued messages
+    std::vector<std::uint32_t> free_slots;
+    std::uint64_t executed = 0;
+    std::uint64_t cross_shard = 0;
+    std::uint64_t spilled = 0;
+    std::size_t mailbox_high_water = 0;
+    double busy_ms = 0.0;
+  };
+
+  /// One directed mailbox edge src -> dst.
+  struct Edge {
+    explicit Edge(std::size_t capacity) : ring(capacity) {}
+    util::SpscRing<ShardMessage> ring;
+    std::vector<ShardMessage> spill;  ///< producer-owned overflow
+    std::uint32_t push_seq = 0;       ///< producer-owned
+    std::uint32_t pop_seq = 0;        ///< consumer-owned
+  };
+
+  [[nodiscard]] Edge& edge(std::uint32_t src, std::uint32_t dst) noexcept {
+    return edges_[src * shards_.size() + dst];
+  }
+  /// Schedules `m` into `shard`'s queue; caller must own the shard.
+  void deliver_local(std::uint32_t shard, const ShardMessage& m);
+  /// Fires arena slot `slot` of `shard` (the scheduled action body).
+  void fire(std::uint32_t shard, std::uint32_t slot);
+  /// Routes a handler send from `src` (ShardContext::send body).
+  void route(std::uint32_t src, const ShardMessage& m);
+  /// Pops every message currently in dst's inbound rings.
+  void drain_inboxes(std::uint32_t dst);
+  /// Earliest pending event time across shards.
+  [[nodiscard]] SimTime next_time() const noexcept;
+  /// One shard's slice of an epoch: drain inboxes, run to the window edge.
+  void run_slice(std::uint32_t shard, SimTime epoch_end);
+
+  Config cfg_;
+  std::vector<std::uint16_t> shard_map_;
+  std::vector<ShardHandler*> handlers_;
+  util::ThreadPool* pool_;
+  std::deque<Shard> shards_;  ///< deque: ShardContext points into elements
+  std::deque<Edge> edges_;    ///< K*K, row-major by source; empty at K=1
+  Stats stats_;
+};
+
+}  // namespace qsa::sim

@@ -1,0 +1,111 @@
+// Bounded single-producer/single-consumer ring buffer — the cross-shard
+// mailbox primitive for the sharded simulation runtime.
+//
+// Wait-free on both ends: the producer owns `tail_`, the consumer owns
+// `head_`, and each side reads the other's index with acquire ordering so a
+// popped element is fully visible to the consumer. "Single producer" means
+// one producer *at a time*: ownership of an endpoint may migrate between
+// threads (the shard runtime hands shards to whichever pool worker picks
+// them up each epoch) as long as the handoff itself synchronizes, which the
+// thread pool's task dispatch already does. Concurrent use of the same
+// endpoint from two threads is a contract violation and aborts via the
+// reentry guards below rather than corrupting the ring.
+//
+// A full ring makes try_push return false — callers must divert to an
+// overflow path (the shard runtime keeps a producer-local spill vector)
+// instead of blocking, because blocking a producer inside a barrier epoch
+// would deadlock the rendezvous.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "qsa/util/expects.hpp"
+
+namespace qsa::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (index masking beats modulo on
+  /// the hot path). Requires capacity >= 1.
+  explicit SpscRing(std::size_t capacity) {
+    QSA_EXPECTS(capacity >= 1);
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  /// Producer side. False when full (no change); the caller spills.
+  [[nodiscard]] bool try_push(T value) {
+    ReentryGuard guard(push_busy_);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == buf_.size()) {
+      return false;
+    }
+    buf_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    ReentryGuard guard(pop_busy_);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == head) return false;
+    out = std::move(buf_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Element count as seen from the consumer side (exact when quiescent,
+  /// a momentary lower/upper bound while the producer is mid-push).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Test hook: marks the producer endpoint as busy so the next try_push
+  /// trips the single-producer contract check (deterministically, without
+  /// having to stage a real race).
+  void claim_producer_for_test() {
+    QSA_EXPECTS(!push_busy_.exchange(true, std::memory_order_relaxed));
+  }
+
+ private:
+  /// Aborts when two threads drive the same endpoint concurrently.
+  class ReentryGuard {
+   public:
+    explicit ReentryGuard(std::atomic<bool>& flag) : flag_(flag) {
+      QSA_EXPECTS(!flag_.exchange(true, std::memory_order_acquire));
+    }
+    ~ReentryGuard() { flag_.store(false, std::memory_order_release); }
+    ReentryGuard(const ReentryGuard&) = delete;
+    ReentryGuard& operator=(const ReentryGuard&) = delete;
+
+   private:
+    std::atomic<bool>& flag_;
+  };
+
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  // Producer and consumer indices on separate cache lines so the two ends
+  // do not false-share.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producer-owned
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer-owned
+  std::atomic<bool> push_busy_{false};
+  std::atomic<bool> pop_busy_{false};
+};
+
+}  // namespace qsa::util

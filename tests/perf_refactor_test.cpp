@@ -32,6 +32,7 @@
 #include <string>
 
 #include "qsa/harness/grid.hpp"
+#include "qsa/harness/shard_world.hpp"
 #include "qsa/obs/export.hpp"
 #include "qsa/obs/sink.hpp"
 
@@ -158,6 +159,18 @@ constexpr GoldenCell kGoldenSim[] = {
     {"stress-sampled/7", 0x2dc07af8d10a2bb7ULL},
 };
 
+// ShardWorld goldens: the sharded message-plane workload (96 peers, 8 s,
+// 250 ms ticks, seed 42), captured at K=1 on the keyed event queue. Every
+// shard count must land on these exact digests — the cells below run K=1
+// AND K=4 against the same value, so both the serial path and the full
+// barrier/mailbox machinery are pinned across builds.
+constexpr GoldenCell kGoldenShard[] = {
+    {"shard/chord", 0xe00600b10d8d6fafULL},
+    {"shard/can", 0xd943dd6aa4a78042ULL},
+    {"shard/pastry", 0x814e3f1f589dfebcULL},
+    {"shard/chord/faults", 0x960e9d98629897b7ULL},
+};
+
 // OBS goldens: captured from the streaming pipeline this test ships with
 // (see header comment for why they were rebaselined in PR 6). From here on
 // they are as hard as the sim goldens.
@@ -172,7 +185,8 @@ constexpr GoldenCell kGoldenObs[] = {
     {"stress-sampled/7", 0x54a8a8132f8af8edULL},
 };
 
-std::uint64_t golden(const GoldenCell (&table)[11], const std::string& label) {
+template <std::size_t N>
+std::uint64_t golden(const GoldenCell (&table)[N], const std::string& label) {
   for (const auto& cell : table) {
     if (label == cell.label) return cell.digest;
   }
@@ -241,6 +255,45 @@ TEST(PerfRefactorIdentity, ObsOffCellsMatchObsOnSimDigests) {
   auto cfg = stress_config(7);
   cfg.observe = false;
   expect_cell("stress/7/obs-off", cfg);
+}
+
+// The sharded message-plane engine against its goldens at K=1 and K=4:
+// cross-build drift in the keyed queue, the conservative epochs, or the
+// mailbox path all land here as a digest mismatch.
+TEST(PerfRefactorIdentity, ShardWorldMatchesGoldenAtEveryK) {
+  const struct {
+    const char* label;
+    OverlayKind overlay;
+    bool faults;
+  } cells[] = {
+      {"shard/chord", OverlayKind::kChord, false},
+      {"shard/can", OverlayKind::kCan, false},
+      {"shard/pastry", OverlayKind::kPastry, false},
+      {"shard/chord/faults", OverlayKind::kChord, true},
+  };
+  for (const auto& cell : cells) {
+    for (const std::size_t k : {std::size_t{1}, std::size_t{4}}) {
+      ShardWorldConfig cfg;
+      cfg.peers = 96;
+      cfg.horizon = sim::SimTime::seconds(8);
+      cfg.tick_period = sim::SimTime::millis(250);
+      cfg.overlay = cell.overlay;
+      cfg.faults = cell.faults;
+      cfg.shards = k;
+      ShardWorld world(cfg);
+      EXPECT_EQ(world.run().digest, golden(kGoldenShard, cell.label))
+          << "cell " << cell.label << " K=" << k;
+    }
+  }
+}
+
+// The grid with shards=4: only provably order-free phases (the bootstrap's
+// finger rebuild) use the pool, so the whole-run digests — sim AND obs —
+// must equal the serial cell's goldens bit for bit.
+TEST(PerfRefactorIdentity, ShardedGridBootstrapMatchesSerialGolden) {
+  auto cfg = base_config(11, AlgorithmKind::kQsa);
+  cfg.shards = 4;
+  expect_cell("qsa/11", cfg);
 }
 
 // Same cell, same seed, two fresh grids in one process: the engine (slot

@@ -510,6 +510,63 @@ TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+TEST(ThreadPool, NestedParallelForMakesProgress) {
+  // The caller drives iterations itself, so a parallel_for issued from
+  // inside a pool task completes even when every worker is busy running
+  // the outer loop — the no-deadlock-by-construction contract.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(16, [&](std::size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, NestedParallelForOnSingleWorkerPool) {
+  ThreadPool pool(1);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 16);
+}
+
+TEST(ThreadPool, SubmitsInterleaveWithParallelFor) {
+  ThreadPool pool(4);
+  std::atomic<int> submitted{0};
+  std::atomic<int> looped{0};
+  for (int i = 0; i < 32; ++i) pool.submit([&submitted] { ++submitted; });
+  pool.parallel_for(64, [&](std::size_t) { ++looped; });
+  pool.wait();
+  EXPECT_EQ(submitted.load(), 32);
+  EXPECT_EQ(looped.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForResultsAreIndexPure) {
+  // Results stored by index are identical for any worker count — the
+  // property every deterministic use of the pool rests on.
+  const auto fill = [](ThreadPool& pool, std::vector<std::uint64_t>& out) {
+    pool.parallel_for(out.size(), [&out](std::size_t i) {
+      out[i] = i * 2654435761ULL % 97;
+    });
+  };
+  std::vector<std::uint64_t> one(256), four(256);
+  ThreadPool p1(1), p4(4);
+  fill(p1, one);
+  fill(p4, four);
+  EXPECT_EQ(one, four);
+}
+
+TEST(ThreadPool, SharedPoolIsASingleton) {
+  ThreadPool& a = shared_pool();
+  ThreadPool& b = shared_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+  std::atomic<int> hits{0};
+  a.parallel_for(32, [&hits](std::size_t) { ++hits; });
+  EXPECT_EQ(hits.load(), 32);
+}
+
 // ---------------------------------------------------- InplaceFunction
 
 TEST(InplaceFunction, InvokesAndReturnsValues) {

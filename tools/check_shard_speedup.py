@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Gate on the K-way sharded-simulation speedup from bench_sim_throughput.
+
+Reads a google-benchmark JSON report containing BM_ShardWorld/K rows (the
+message-plane workload on sim::ShardRuntime at K shards), pairs the K=1 and
+K=4 rows, and fails if real_time(K=1) / real_time(K=4) falls below the
+threshold. The workload's output digest is identical for every K (the
+golden-digest tests pin that), so the rows differ only in wall clock — this
+gate certifies that the parallel runtime actually buys time.
+
+Hosts with fewer than 4 hardware threads (read from the row's hw_threads
+counter, falling back to the report context's num_cpus) cannot express a
+4-way speedup; the gate then reports the measurement, marks itself skipped,
+and exits 0 — CI's 4-vCPU runners are where the threshold binds.
+
+Usage:
+    bench_sim_throughput --benchmark_filter='BM_ShardWorld' \
+        --benchmark_format=json > BENCH_shard.json
+    python3 tools/check_shard_speedup.py BENCH_shard.json \
+        [--min-speedup=1.8] [--json-out=FILE]
+"""
+
+import argparse
+import json
+import sys
+
+from gate_common import add_json_out_arg, write_json_out
+
+GATE = "check_shard_speedup"
+BASE_K = 1
+PAR_K = 4
+
+
+def load_rows(report):
+    """Returns ({K: row}, problems) for the BM_ShardWorld/K rows."""
+    rows = {}
+    problems = []
+    for row in report.get("benchmarks", []):
+        name = row.get("name", "")
+        if row.get("run_type") == "aggregate":
+            continue
+        if not name.startswith("BM_ShardWorld/"):
+            continue
+        try:
+            k = int(name.split("/")[1])
+        except (IndexError, ValueError):
+            problems.append(f"cannot parse shard count from row '{name}'")
+            continue
+        if "real_time" not in row:
+            problems.append(f"row '{name}' has no real_time field")
+            continue
+        rows[k] = row
+    return rows, problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="google-benchmark JSON report")
+    parser.add_argument("--min-speedup", type=float, default=1.8,
+                        help="minimum K=1 / K=4 wall ratio (default 1.8)")
+    parser.add_argument("--min-threads", type=int, default=4,
+                        help="hardware threads below which the gate skips "
+                             "instead of failing (default 4)")
+    add_json_out_arg(parser)
+    opts = parser.parse_args()
+    thresholds = {"min_speedup": opts.min_speedup,
+                  "min_threads": opts.min_threads}
+
+    with open(opts.report, encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    rows, problems = load_rows(report)
+    for k in (BASE_K, PAR_K):
+        if k not in rows:
+            problems.append(f"no BM_ShardWorld/{k} row in the report")
+    if problems:
+        for p in problems:
+            print(f"check_shard_speedup: {p}", file=sys.stderr)
+        write_json_out(opts.json_out, GATE, False, 2, thresholds,
+                       {"problems": problems})
+        return 2
+
+    base, par = rows[BASE_K], rows[PAR_K]
+    speedup = base["real_time"] / par["real_time"]
+    hw = par.get("hw_threads") or report.get("context", {}).get("num_cpus", 0)
+    measured = {
+        "hw_threads": hw,
+        f"real_time_k{BASE_K}": base["real_time"],
+        f"real_time_k{PAR_K}": par["real_time"],
+        "speedup": speedup,
+        "idle_fraction_k4": par.get("idle_fraction"),
+        "shard_balance_k4": par.get("shard_balance"),
+        "events_per_sec_k1": base.get("events_per_sec"),
+        "events_per_sec_k4": par.get("events_per_sec"),
+        "skipped": False,
+    }
+
+    print(f"sharded simulation: K={BASE_K} {base['real_time']:.1f} "
+          f"{base.get('time_unit', 'ns')}, K={PAR_K} {par['real_time']:.1f} "
+          f"{par.get('time_unit', 'ns')} -> speedup {speedup:.2f}x "
+          f"(need >= {opts.min_speedup:.2f}x, host has {hw:.0f} hw threads)")
+    if par.get("idle_fraction") is not None:
+        print(f"  K={PAR_K} barrier idle fraction "
+              f"{par['idle_fraction']:.3f}, shard balance "
+              f"{par.get('shard_balance', 0):.3f}")
+
+    if hw < opts.min_threads:
+        measured["skipped"] = True
+        print(f"  SKIP: host has {hw:.0f} < {opts.min_threads} hardware "
+              f"threads; a {PAR_K}-way speedup is not expressible here")
+        write_json_out(opts.json_out, GATE, True, 0, thresholds, measured)
+        return 0
+
+    ok = speedup >= opts.min_speedup
+    if not ok:
+        print(f"  FAIL: speedup {speedup:.2f}x below the "
+              f"{opts.min_speedup:.2f}x floor", file=sys.stderr)
+    else:
+        print("  OK")
+    write_json_out(opts.json_out, GATE, ok, 0 if ok else 1, thresholds,
+                   measured)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
